@@ -1,0 +1,48 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark runs one figure driver exactly once (``pedantic`` with a
+single round — these are simulations, not microseconds-scale kernels),
+prints the paper-style table to the real stdout (visible through pytest
+capture, so ``tee bench_output.txt`` records it), and saves it under
+``benchmarks/results/``.
+
+Set ``REPRO_BENCH_QUICK=1`` to run reduced axes (CI smoke).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a table to the terminal and persist it."""
+
+    def _emit(table):
+        table.save(results_dir)
+        with capsys.disabled():
+            print()
+            print(table.render())
+        return table
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def quick():
+    return QUICK
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Ablation: the distribution-block-size tradeoff (DESIGN.md abl-block).
+
+Sweeps block sizes on the Figure-5 pipeline and checks the structure
+everything else rests on: bigger blocks help complete updates (up to a
+point) and hurt partial updates; SocketVIA's curves are flat enough
+that one small block serves both query types.
+"""
+
+from conftest import run_once
+from repro.bench.records import ExperimentTable
+from repro.apps import (
+    TimedQuery,
+    VizServerConfig,
+    Workload,
+    complete_update,
+    partial_update,
+    run_vizserver,
+)
+
+BLOCKS = [2048, 8192, 16384, 65536]
+
+
+def sweep(blocks=BLOCKS):
+    table = ExperimentTable(
+        "abl_blocksize",
+        "Block-size tradeoff: complete (ms) vs partial (us) response",
+        ["block", "tcp_complete_ms", "tcp_partial_us",
+         "sv_complete_ms", "sv_partial_us"],
+    )
+    for block in blocks:
+        row = [block]
+        for protocol in ("tcp", "socketvia"):
+            cfg = VizServerConfig(
+                protocol=protocol, block_bytes=block, closed_loop=True
+            )
+            ds = cfg.dataset()
+            workload = Workload([
+                TimedQuery(0.0, complete_update(ds)),
+                TimedQuery(0.0, partial_update(ds)),
+                TimedQuery(0.0, complete_update(ds)),
+                TimedQuery(0.0, partial_update(ds)),
+            ])
+            res = run_vizserver(cfg, workload)
+            row.append(res.latency("complete").mean * 1e3)
+            row.append(res.latency("partial").mean * 1e6)
+        table.add_row(*row)
+    return table
+
+
+def test_blocksize_tradeoff(benchmark, emit, quick):
+    blocks = [2048, 16384] if quick else BLOCKS
+    table = run_once(benchmark, sweep, blocks=blocks)
+    emit(table)
+    # Partial latency strictly grows with the block for both transports.
+    for col in ("tcp_partial_us", "sv_partial_us"):
+        vals = table.column(col)
+        assert vals == sorted(vals)
+    # TCP's complete-update time improves substantially from 2 KB to
+    # 16 KB blocks; SocketVIA's barely moves (already near peak at 2 KB).
+    tcp_c = table.column("tcp_complete_ms")
+    sv_c = table.column("sv_complete_ms")
+    i16 = table.column("block").index(16384)
+    assert tcp_c[0] / tcp_c[i16] > 1.5
+    assert sv_c[0] / sv_c[i16] < 1.15
+    # At every block size SocketVIA dominates on both metrics.
+    for t, s in zip(tcp_c, sv_c):
+        assert s < t

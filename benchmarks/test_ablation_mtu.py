@@ -1,0 +1,42 @@
+"""Ablation: TCP segment size (DESIGN.md abl-mtu).
+
+The kernel stack's per-segment cost dominates TCP's overhead, so the
+MSS is the whole ballgame: jumbo-frame MSS would have moved TCP's peak
+substantially, shrinking (but not closing) the gap to SocketVIA.
+"""
+
+from conftest import run_once
+from repro.bench.microbench import streaming_bandwidth
+from repro.bench.records import ExperimentTable
+from repro.net import TCP_CLAN_LANE
+from repro.sim.units import bytes_per_sec_to_mbps
+
+MSS = [536, 1460, 4096, 9000]
+MSG = 64 * 1024
+
+
+def sweep(mss_values=MSS):
+    table = ExperimentTable(
+        "abl_mtu",
+        f"TCP bandwidth (Mbps) at {MSG // 1024} KB messages vs MSS",
+        ["mss", "bandwidth_mbps", "model_peak_mbps"],
+    )
+    for mss in mss_values:
+        model = TCP_CLAN_LANE.with_updates(mtu=mss)
+        bw = streaming_bandwidth("tcp", MSG, model=model)
+        table.add_row(mss, bytes_per_sec_to_mbps(bw), model.peak_bandwidth_mbps)
+    return table
+
+
+def test_mss_sweep(benchmark, emit, quick):
+    mss = [536, 1460, 9000] if quick else MSS
+    table = run_once(benchmark, sweep, mss_values=mss)
+    emit(table)
+    bw = table.column("bandwidth_mbps")
+    assert bw == sorted(bw)
+    # The 536 -> 1460 step matters a lot (per-segment kernel cost).
+    assert bw[1] > 1.5 * bw[0]
+    # Measured bandwidth tracks the analytic peak within 15 %.
+    for measured, peak in zip(bw, table.column("model_peak_mbps")):
+        assert measured <= peak * 1.001
+        assert measured > 0.80 * peak

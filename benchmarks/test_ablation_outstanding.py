@@ -1,0 +1,63 @@
+"""Ablation: demand-driven pipelining depth (DESIGN.md abl-block notes).
+
+``max_outstanding`` is how many unacknowledged buffers a producer may
+park at one consumer — the pipelining depth of the filter stream.  At
+depth 1 the producer waits out a full acknowledgment round trip per
+buffer; depth 2 (the default, double buffering) hides it; deeper
+windows add little but make the balancer's view of consumer speed
+staler.
+
+The configuration exposes the effect: a single communication-bound
+worker (light computation), so the ack round trip is not hidden behind
+processing or behind other consumers.
+"""
+
+from conftest import run_once
+from repro.apps import LoadBalanceConfig, run_loadbalance
+from repro.bench.records import ExperimentTable
+
+DEPTHS = [1, 2, 4, 8]
+
+
+def sweep(depths=DEPTHS, total=2 * 1024 * 1024):
+    table = ExperimentTable(
+        "abl_outstanding",
+        "DD execution time (ms) vs outstanding-buffer window "
+        "(1 comm-bound worker)",
+        ["max_outstanding", "socketvia_ms", "tcp_ms"],
+    )
+    for depth in depths:
+        row = [depth]
+        for protocol in ("socketvia", "tcp"):
+            cfg = LoadBalanceConfig(
+                protocol=protocol,
+                policy="dd",
+                block_bytes=2048 if protocol == "socketvia" else 16384,
+                total_bytes=total,
+                n_workers=1,
+                compute_ns_per_byte=4.0,
+                max_outstanding=depth,
+            )
+            row.append(run_loadbalance(cfg).execution_time * 1e3)
+        table.add_row(*row)
+    return table
+
+
+def test_outstanding_window(benchmark, emit, quick):
+    depths = [1, 2, 8] if quick else DEPTHS
+    table = run_once(benchmark, sweep, depths=depths)
+    emit(table)
+    for col in ("socketvia_ms", "tcp_ms"):
+        vals = table.column(col)
+        # Depth 1 pays the ack round trip per buffer: clearly slowest.
+        assert vals[0] > 1.05 * min(vals[1:])
+        # Deeper windows never hurt throughput.
+        assert vals == sorted(vals, reverse=True) or vals[1:] == sorted(
+            vals[1:], reverse=True
+        )
+    # SocketVIA's tiny ack round trip is fully hidden by double
+    # buffering; TCP's larger one still profits from a deeper window.
+    sv = table.column("socketvia_ms")
+    assert sv[1] < 1.10 * min(sv[1:])
+    tcp = table.column("tcp_ms")
+    assert tcp[1] < 1.35 * min(tcp[1:])

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Load balancing on a heterogeneous cluster (paper Figure 6 / 10 / 11).
+
+A repository + load balancer distributes a dataset's blocks to three
+compute nodes; node 2 is slower.  The example contrasts:
+
+* **Round-Robin vs Demand-Driven** — RR keeps feeding the slow node
+  its full share and the whole run stretches; DD routes around it;
+* **TCP vs SocketVIA under RR** — TCP's 16 KB pipelining blocks make
+  each balancing mistake ~8x more expensive than SocketVIA's 2 KB.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro.apps import LoadBalanceConfig, paper_block_size, run_loadbalance
+from repro.cluster import StaticSlowdown
+
+SLOW = 2          # index of the slow worker
+FACTOR = 4.0      # it processes blocks 4x slower
+TOTAL = 4 * 1024 * 1024
+
+
+def run(protocol: str, policy: str):
+    cfg = LoadBalanceConfig(
+        protocol=protocol,
+        policy=policy,
+        block_bytes=paper_block_size(protocol),
+        total_bytes=TOTAL,
+        compute_ns_per_byte=90.0,
+        slow_workers={SLOW: StaticSlowdown(FACTOR)},
+    )
+    return run_loadbalance(cfg)
+
+
+def main() -> None:
+    print(f"3 workers, worker {SLOW} is {FACTOR:.0f}x slower; "
+          f"{TOTAL // (1024 * 1024)} MB of blocks\n")
+
+    print(f"{'protocol':>10} {'policy':>6} {'exec ms':>9} "
+          f"{'blocks/worker':>16} {'reaction us':>12}")
+    for protocol in ("socketvia", "tcp"):
+        for policy in ("rr", "dd"):
+            res = run(protocol, policy)
+            counts = "/".join(str(c) for c in res.processed_counts)
+            reaction = res.reaction_time(SLOW) * 1e6
+            print(f"{protocol:>10} {policy:>6} "
+                  f"{res.execution_time * 1e3:>9.1f} {counts:>16} "
+                  f"{reaction:>12.1f}")
+
+    print(
+        "\nReadings: RR gives every worker the same share, so the slow "
+        "node's pile dominates the makespan; DD shifts blocks to the fast "
+        "workers.  Under RR the reaction time — how long the balancer "
+        "stays committed to a mistake — scales with the block size, "
+        "hence TCP's ~8x penalty."
+    )
+
+
+if __name__ == "__main__":
+    main()

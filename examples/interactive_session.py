@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""An interactive microscope session, end to end (paper Section 2).
+
+Simulates a pathologist browsing a 16 MB slide: the viewport random-walks
+(pans), occasionally changes magnification (zooms) and jumps to new
+fields — the paper's motivating workload, where "the user does not have
+to wait for the processing of the query to be completed" only if pans
+stay fast.
+
+The same 60-action session runs through the visualization pipeline over
+TCP (16 KB blocks, the size its bandwidth demands) and over SocketVIA
+(2 KB blocks, data repartitioning), and the per-action latency
+distribution is printed.  The paper's argument in one table: the
+*median pan* — the action interactivity lives on — is an order of
+magnitude faster on the repartitioned SocketVIA configuration.
+
+Run:  python examples/interactive_session.py
+"""
+
+import numpy as np
+
+from repro.apps import SessionModel, VizServerConfig, run_vizserver, session_workload
+
+ACTIONS = 60
+
+
+def run(protocol: str, block: int):
+    cfg = VizServerConfig(
+        protocol=protocol,
+        block_bytes=block,
+        compute_ns_per_byte=18.0,
+        closed_loop=True,
+    )
+    ds = cfg.dataset()
+    model = SessionModel(
+        ds,
+        view_w=ds.width // 4,
+        view_h=ds.height // 4,
+        pan_step=max(ds.block_w // 2, 8),
+        p_zoom=0.10,
+        p_jump=0.05,
+        rng=np.random.default_rng(42),
+    )
+    workload = session_workload(model.trace(ACTIONS))
+    result = run_vizserver(cfg, workload)
+    return workload, result
+
+
+def describe(label: str, result) -> None:
+    print(f"--- {label} ---")
+    for kind, unit, scale in (("partial", "ms", 1e3), ("zoom", "ms", 1e3),
+                              ("complete", "ms", 1e3)):
+        tally = result.metrics.get(f"latency.{kind}")
+        if tally is None:
+            continue
+        print(f"  {kind:>8} (n={tally.count:3d}): "
+              f"mean {tally.mean * scale:8.2f} {unit}   "
+              f"min {tally.min * scale:8.2f}   max {tally.max * scale:8.2f}")
+    print(f"  session wall time: {result.elapsed * 1e3:.0f} ms\n")
+
+
+def main() -> None:
+    print(f"Browsing a 16 MB slide: {ACTIONS} user actions "
+          f"(pans / zooms / field jumps)\n")
+    for protocol, block in (("tcp", 16 * 1024), ("socketvia", 2 * 1024)):
+        workload, result = run(protocol, block)
+        describe(f"{protocol}, {block // 1024} KB blocks "
+                 f"({len(workload)} fetching actions)", result)
+    print("Pans dominate an interactive session; SocketVIA's repartitioned "
+          "blocks keep them at sub-millisecond scale, which is the paper's "
+          "definition of a responsive microscope.")
+
+
+if __name__ == "__main__":
+    main()

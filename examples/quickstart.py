@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: measure the three transports, reproduce Figure 4's story.
+
+Builds a two-node simulated cLAN cluster and runs sockets ping-pong and
+streaming benchmarks over kernel TCP (LANE path), SocketVIA, and the
+raw VIA provider.  ~10 seconds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench.microbench import (
+    ping_pong_latency,
+    streaming_bandwidth,
+    via_ping_pong_latency,
+    via_streaming_bandwidth,
+)
+from repro.net import get_model
+from repro.sim.units import bytes_per_sec_to_mbps, to_usec
+
+
+def main() -> None:
+    print("Simulated GigaNet cLAN cluster — transport micro-benchmarks")
+    print("(paper: SocketVIA 9.5 us / 763 Mbps, TCP ~47 us / 510 Mbps)\n")
+
+    print(f"{'size':>8} | {'VIA lat us':>10} | {'SV lat us':>10} | {'TCP lat us':>10}")
+    for size in (4, 64, 1024, 4096):
+        via = to_usec(via_ping_pong_latency(size))
+        sv = to_usec(ping_pong_latency("socketvia", size))
+        tcp = to_usec(ping_pong_latency("tcp", size))
+        print(f"{size:>8} | {via:>10.2f} | {sv:>10.2f} | {tcp:>10.2f}")
+
+    print()
+    print(f"{'size':>8} | {'VIA Mbps':>10} | {'SV Mbps':>10} | {'TCP Mbps':>10}")
+    for size in (2048, 16384, 65536):
+        via = bytes_per_sec_to_mbps(via_streaming_bandwidth(size))
+        sv = bytes_per_sec_to_mbps(streaming_bandwidth("socketvia", size))
+        tcp = bytes_per_sec_to_mbps(streaming_bandwidth("tcp", size))
+        print(f"{size:>8} | {via:>10.1f} | {sv:>10.1f} | {tcp:>10.1f}")
+
+    sv_model = get_model("socketvia")
+    tcp_model = get_model("tcp")
+    print(
+        "\nThe structural point (Figure 2): SocketVIA reaches "
+        f"{sv_model.streaming_bandwidth_mbps(2048):.0f} Mbps at 2 KB messages "
+        f"while TCP manages {tcp_model.streaming_bandwidth_mbps(2048):.0f} Mbps "
+        "— so applications can repartition their data into much smaller "
+        "chunks without losing bandwidth, and small chunks are what make "
+        "interactive latency and fine-grained load balancing possible."
+    )
+
+
+if __name__ == "__main__":
+    main()

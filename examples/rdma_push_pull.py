@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""RDMA push/pull — the paper's future-work section, made concrete.
+
+The conclusion of the paper: "we plan to investigate DataCutter with
+the push/pull data transfer model using RDMA operations".  This example
+exercises both halves on the simulated VIA provider:
+
+1. **Raw provider** — an RDMA Write (push) and an RDMA Read (pull)
+   against a peer's registered region, showing the defining property:
+   the *target* host's CPU is untouched while megabytes move.
+2. **SocketVIA transparently upgraded** — the same sockets code, with
+   ``rdma_threshold`` set, sends large messages as RDMA writes with
+   notify; a busy receiver barely notices a 4 MB arrival.
+
+Run:  python examples/rdma_push_pull.py
+"""
+
+from repro.cluster import Cluster
+from repro.sockets import ProtocolAPI
+from repro.via import Descriptor, ViaNic
+
+MB = 1024 * 1024
+
+
+def raw_provider_demo() -> None:
+    print("== Raw VIA provider: push and pull ==")
+    cluster = Cluster(seed=1)
+    cluster.add_fabric("clan")
+    cluster.add_hosts("node", 2, cores=1)
+    nic0 = ViaNic(cluster.host("node00"), cluster.fabric("clan"))
+    nic1 = ViaNic(cluster.host("node01"), cluster.fabric("clan"))
+    sim = cluster.sim
+    state = {}
+
+    def target():
+        listener = nic1.listen(7)
+        vi = yield from listener.wait_connection()
+        vi.post_recv(Descriptor(memory=nic1.memory.register_now(8192)))
+        state["region"] = nic1.memory.register_now(8 * MB)
+        nic1.memory.write_content(state["region"], "dataset-on-node01")
+        # The target now just computes; RDMA needs nothing from it.
+        t0 = sim.now
+        yield from cluster.host("node01").compute(0.002)
+        state["compute_stretch"] = (sim.now - t0) / 0.002
+
+    def initiator():
+        vi = nic0.make_vi()
+        yield from nic0.connect(vi, "node01", 7)
+        while "region" not in state:
+            yield sim.timeout(1e-6)
+
+        # PUSH: write 4 MB into the remote region.
+        mem = nic0.memory.register_now(4 * MB)
+        t0 = sim.now
+        yield from vi.post_rdma_write(
+            Descriptor(memory=mem, length=4 * MB, payload="pushed-image"),
+            state["region"],
+        )
+        yield vi.send_cq.wait()
+        print(f"push: 4 MB written in {(sim.now - t0) * 1e3:.2f} ms; "
+              f"remote region now holds "
+              f"{nic1.memory.read_content(state['region'])!r}")
+
+        # PULL: read it back.
+        t0 = sim.now
+        d = Descriptor(memory=mem)
+        yield from vi.post_rdma_read(d, state["region"], 4 * MB)
+        done = yield vi.send_cq.wait()
+        print(f"pull: 4 MB read back in {(sim.now - t0) * 1e3:.2f} ms; "
+              f"payload = {done.payload!r}")
+
+    sim.process(target())
+    sim.process(initiator())
+    sim.run()
+    print(f"target host compute stretch during transfers: "
+          f"{state['compute_stretch']:.3f}x (1.0 = untouched)\n")
+
+
+def socketvia_threshold_demo() -> None:
+    print("== SocketVIA with rdma_threshold: same code, upgraded path ==")
+    for label, options in (("fragments", {}), ("rdma push", {"rdma_threshold": 64 * 1024})):
+        cluster = Cluster(seed=2)
+        cluster.add_fabric("clan")
+        cluster.add_hosts("node", 2, cores=1)
+        api = ProtocolAPI(cluster, "socketvia", **options)
+        sim = cluster.sim
+        out = {}
+        host1 = cluster.host("node01")
+
+        def server():
+            listener = api.listen("node01", 5000)
+            sock = yield from listener.accept()
+            t0 = sim.now
+            msg = yield from sock.recv_message()
+            out["ms"] = (sim.now - t0) * 1e3
+
+        def busy():
+            yield sim.timeout(1e-4)
+            t0 = sim.now
+            for _ in range(100):
+                yield from host1.compute(1e-4)
+            out["stretch"] = (sim.now - t0) / 0.01
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 5000))
+            yield from sock.send_message(4 * MB)
+
+        sim.process(server())
+        sim.process(busy())
+        sim.process(client())
+        sim.run()
+        print(f"{label:>10}: 4 MB in {out['ms']:.2f} ms, receiver compute "
+              f"stretch {out['stretch']:.3f}x")
+    print("\nSame wire time either way (the link is the bottleneck); the "
+          "push path frees the receiving host's CPU for application work.")
+
+
+if __name__ == "__main__":
+    raw_provider_demo()
+    socketvia_threshold_demo()

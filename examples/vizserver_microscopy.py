@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The digitized-microscopy visualization server, end to end.
+
+Two halves, mirroring how the paper separates semantics from timing:
+
+1. **Real pixels** — build a synthetic slide, run an actual
+   clip -> subsample -> compose pipeline (NumPy) for a complete update
+   and a zoom query, and verify the outputs against a direct render.
+2. **Timing** — run the same query mix through the simulated 4-stage,
+   3-copy DataCutter pipeline (Figure 5) over TCP and SocketVIA and
+   report per-query-type response times.
+
+Run:  python examples/vizserver_microscopy.py
+"""
+
+import numpy as np
+
+from repro.apps import (
+    ImageDataset,
+    Region,
+    VizServerConfig,
+    mixed_query_workload,
+    run_vizserver,
+)
+from repro.apps.microscope import make_test_slide, render_query
+
+
+def pixels_demo() -> None:
+    print("== Virtual Microscope pixel pipeline ==")
+    # A small slide: 1 MB image in an 8x8 block grid.
+    dataset = ImageDataset(1024, 1024, 8, 8)
+    slide = make_test_slide(dataset, seed=7)
+
+    full = render_query(slide, dataset, dataset.full_region(), factor=4)
+    print(f"complete update: {dataset.width}x{dataset.height} slide -> "
+          f"{full.shape[1]}x{full.shape[0]} view (subsample 4x)")
+
+    zoom_region = Region(200, 200, 460, 460)  # straddles block boundaries
+    zoom = render_query(slide, dataset, zoom_region, factor=1)
+    blocks = dataset.blocks_for_region(zoom_region)
+    print(f"zoom query: region {zoom_region.width}x{zoom_region.height} "
+          f"touches blocks {blocks} "
+          f"({dataset.wasted_bytes(zoom_region)} bytes over-fetched — "
+          f"Figure 1's whole-block fetch cost)")
+    # The zoom at full resolution equals the slide crop exactly.
+    assert np.array_equal(zoom, slide[200:460, 200:460])
+    print("zoom output verified against the slide crop\n")
+
+
+def timing_demo() -> None:
+    print("== Simulated 4-stage pipeline (Figure 5), 30% complete updates ==")
+    for protocol, block in (("tcp", 16 * 1024), ("socketvia", 2 * 1024)):
+        cfg = VizServerConfig(
+            protocol=protocol,
+            block_bytes=block,
+            compute_ns_per_byte=18.0,   # measured Virtual Microscope cost
+            closed_loop=True,
+        )
+        rng = np.random.default_rng(3)
+        workload = mixed_query_workload(cfg.dataset(), 8, 0.3, rng, exact=True)
+        result = run_vizserver(cfg, workload)
+        complete = result.latency("complete").mean * 1e3
+        zoom = result.latency("zoom").mean * 1e3
+        print(f"{protocol:10s} block={block//1024:3d}KB   "
+              f"complete update: {complete:7.1f} ms   "
+              f"zoom: {zoom:7.2f} ms")
+    print("\nSocketVIA's smaller blocks cut zoom (interactive) latency while "
+          "sustaining the complete-update bandwidth.")
+
+
+if __name__ == "__main__":
+    pixels_demo()
+    timing_demo()

@@ -1,0 +1,23 @@
+"""repro — reproduction of *Impact of High Performance Sockets on Data
+Intensive Applications* (Balaji et al., HPDC 2003).
+
+The package simulates the paper's entire stack on a deterministic
+discrete-event kernel:
+
+* :mod:`repro.sim`        — the discrete-event simulation kernel
+* :mod:`repro.cluster`    — hosts, CPUs, links, switches, heterogeneity
+* :mod:`repro.net`        — calibrated pipelined protocol cost models
+* :mod:`repro.via`        — simulated Virtual Interface Architecture provider
+* :mod:`repro.tcp`        — simulated kernel TCP/IP socket stack
+* :mod:`repro.sockets`    — unified sockets API (kernel TCP & SocketVIA)
+* :mod:`repro.datacutter` — the DataCutter filter-stream framework
+* :mod:`repro.apps`       — visualization server, load balancer, microscope
+* :mod:`repro.bench`      — experiment harness regenerating every figure
+
+See README.md and DESIGN.md at the repository root.
+"""
+
+from repro._version import __version__
+from repro import errors
+
+__all__ = ["__version__", "errors"]

@@ -1,0 +1,69 @@
+"""The paper's applications: datasets, queries, pipelines, balancing."""
+
+from repro.apps.dataset import ImageDataset, PAPER_IMAGE_BYTES, Region
+from repro.apps.loadbalance import (
+    LoadBalanceConfig,
+    LoadBalanceResult,
+    paper_block_size,
+    run_loadbalance,
+)
+from repro.apps.planning import (
+    PipelinePlan,
+    chunk_fetch_latency,
+    default_block_candidates,
+    partial_update_latency,
+    plan_block_for_latency,
+    plan_block_for_rate,
+    sustainable_rate,
+)
+from repro.apps.session import SessionModel, ViewportStep, session_workload
+from repro.apps.queries import (
+    Query,
+    TimedQuery,
+    Workload,
+    complete_update,
+    mixed_query_workload,
+    partial_update,
+    steady_rate_workload,
+    zoom_query,
+)
+from repro.apps.vizserver import (
+    VizServerApp,
+    VizServerConfig,
+    VizServerResult,
+    measure_max_update_rate,
+    run_vizserver,
+)
+
+__all__ = [
+    "ImageDataset",
+    "Region",
+    "PAPER_IMAGE_BYTES",
+    "Query",
+    "TimedQuery",
+    "Workload",
+    "complete_update",
+    "partial_update",
+    "zoom_query",
+    "steady_rate_workload",
+    "mixed_query_workload",
+    "PipelinePlan",
+    "default_block_candidates",
+    "sustainable_rate",
+    "partial_update_latency",
+    "chunk_fetch_latency",
+    "plan_block_for_rate",
+    "plan_block_for_latency",
+    "VizServerConfig",
+    "VizServerResult",
+    "VizServerApp",
+    "run_vizserver",
+    "measure_max_update_rate",
+    "LoadBalanceConfig",
+    "LoadBalanceResult",
+    "run_loadbalance",
+    "paper_block_size",
+    "SessionModel",
+    "ViewportStep",
+    "session_workload",
+]

@@ -1,0 +1,280 @@
+"""Latency / bandwidth micro-benchmarks (paper Section 5.1, Figure 4).
+
+Three experiments, each on a fresh two-node cluster:
+
+* :func:`ping_pong_latency` — sockets ping-pong; reports one-way
+  latency (half the mean round trip), the Figure 4(a) measurement.
+* :func:`streaming_bandwidth` — sockets one-way stream with several
+  messages outstanding; reports receiver-observed goodput, the
+  Figure 4(b) measurement.
+* :func:`via_ping_pong_latency` / :func:`via_streaming_bandwidth` —
+  the same two measurements against the raw VIA provider (descriptors
+  and completion queues, no sockets layer), giving the "VIA" series.
+
+All functions build their own simulator and are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.topology import Cluster
+from repro.net.calibration import VIA_CLAN, get_model
+from repro.net.model import ProtocolCostModel
+from repro.sim.units import bytes_per_sec_to_mbps
+from repro.sockets.factory import ProtocolAPI
+from repro.via.descriptors import Descriptor
+from repro.via.nic import ViaNic
+
+__all__ = [
+    "ping_pong_latency",
+    "streaming_bandwidth",
+    "via_ping_pong_latency",
+    "via_streaming_bandwidth",
+    "latency_series",
+    "bandwidth_series",
+    "MicrobenchResult",
+]
+
+PORT = 5000
+
+
+@dataclass
+class MicrobenchResult:
+    """One micro-benchmark point."""
+
+    protocol: str
+    msg_size: int
+    value: float  # seconds (latency) or bytes/s (bandwidth)
+
+    @property
+    def usec(self) -> float:
+        """Latency in microseconds."""
+        return self.value * 1e6
+
+    @property
+    def mbps(self) -> float:
+        """Bandwidth in Mbps (10^6 bits)."""
+        return bytes_per_sec_to_mbps(self.value)
+
+
+def _two_nodes(seed: int = 1) -> Cluster:
+    cluster = Cluster(seed=seed)
+    cluster.add_fabric("clan")
+    cluster.add_fabric("ethernet")
+    cluster.add_hosts("node", 2)
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Sockets-level benchmarks
+# ---------------------------------------------------------------------------
+
+
+def ping_pong_latency(
+    protocol: str,
+    msg_size: int,
+    iterations: int = 16,
+    warmup: int = 2,
+    **api_options,
+) -> float:
+    """Mean one-way latency (seconds) of *msg_size*-byte messages."""
+    cluster = _two_nodes()
+    api = ProtocolAPI(cluster, protocol, **api_options)
+    sim = cluster.sim
+    samples: List[float] = []
+
+    def server():
+        listener = api.listen("node01", PORT)
+        sock = yield from listener.accept()
+        for _ in range(iterations + warmup):
+            msg = yield from sock.recv_message()
+            yield from sock.send_message(msg.size)
+
+    def client():
+        sock = api.socket("node00")
+        yield from sock.connect(("node01", PORT))
+        for i in range(iterations + warmup):
+            t0 = sim.now
+            yield from sock.send_message(msg_size)
+            yield from sock.recv_message()
+            if i >= warmup:
+                samples.append((sim.now - t0) / 2.0)
+
+    sim.process(server())
+    done = sim.process(client())
+    sim.run(done)
+    return sum(samples) / len(samples)
+
+
+def streaming_bandwidth(
+    protocol: str,
+    msg_size: int,
+    n_messages: int = 64,
+    warmup: int = 8,
+    **api_options,
+) -> float:
+    """Receiver-observed goodput (bytes/s) streaming *n_messages*.
+
+    The first *warmup* messages prime the pipeline and are excluded
+    from the measured window.
+    """
+    cluster = _two_nodes()
+    api = ProtocolAPI(cluster, protocol, **api_options)
+    sim = cluster.sim
+    marks: Dict[str, float] = {}
+
+    def server():
+        listener = api.listen("node01", PORT)
+        sock = yield from listener.accept()
+        for i in range(n_messages):
+            yield from sock.recv_message()
+            if i == warmup - 1:
+                marks["start"] = sim.now
+        marks["end"] = sim.now
+
+    def client():
+        sock = api.socket("node00")
+        yield from sock.connect(("node01", PORT))
+        for _ in range(n_messages):
+            yield from sock.send_message(msg_size)
+
+    srv = sim.process(server())
+    sim.process(client())
+    sim.run(srv)
+    span = marks["end"] - marks["start"]
+    return (n_messages - warmup) * msg_size / span
+
+
+# ---------------------------------------------------------------------------
+# Raw VIA benchmarks (descriptor-level, no sockets layer)
+# ---------------------------------------------------------------------------
+
+
+def _via_pair(cluster: Cluster, model: Optional[ProtocolCostModel] = None):
+    """Two connected VIs with generous pre-posted receive pools."""
+    model = model or VIA_CLAN
+    nic0 = ViaNic(cluster.host("node00"), cluster.fabric("clan"), model=model)
+    nic1 = ViaNic(cluster.host("node01"), cluster.fabric("clan"), model=model)
+    return nic0, nic1
+
+
+def via_ping_pong_latency(
+    msg_size: int,
+    iterations: int = 16,
+    warmup: int = 2,
+    model: Optional[ProtocolCostModel] = None,
+) -> float:
+    """Raw-VIA one-way latency (seconds): post_send / reap_recv loop."""
+    cluster = _two_nodes()
+    sim = cluster.sim
+    model = model or VIA_CLAN
+    nic0, nic1 = _via_pair(cluster, model)
+    samples: List[float] = []
+    total = iterations + warmup
+
+    def post_pool(nic, vi, n):
+        for _ in range(n):
+            vi.post_recv(Descriptor(memory=nic.memory.register_now(max(msg_size, 64))))
+
+    def server():
+        listener = nic1.listen(7)
+        vi = yield from listener.wait_connection()
+        post_pool(nic1, vi, total + 1)
+        send_mem = nic1.memory.register_now(max(msg_size, 64))
+        for _ in range(total):
+            yield from vi.reap_recv()
+            yield from vi.post_send(Descriptor(memory=send_mem, length=msg_size))
+
+    def client():
+        vi = nic0.make_vi()
+        post_pool(nic0, vi, total + 1)
+        yield from nic0.connect(vi, "node01", 7)
+        send_mem = nic0.memory.register_now(max(msg_size, 64))
+        for i in range(total):
+            t0 = sim.now
+            yield from vi.post_send(Descriptor(memory=send_mem, length=msg_size))
+            yield from vi.reap_recv()
+            if i >= warmup:
+                samples.append((sim.now - t0) / 2.0)
+
+    sim.process(server())
+    done = sim.process(client())
+    sim.run(done)
+    return sum(samples) / len(samples)
+
+
+def via_streaming_bandwidth(
+    msg_size: int,
+    n_messages: int = 64,
+    warmup: int = 8,
+    model: Optional[ProtocolCostModel] = None,
+) -> float:
+    """Raw-VIA goodput (bytes/s); descriptors pre-posted for the whole run."""
+    cluster = _two_nodes()
+    sim = cluster.sim
+    model = model or VIA_CLAN
+    nic0, nic1 = _via_pair(cluster, model)
+    marks: Dict[str, float] = {}
+    # VIA segments at its MTU internally; a "message" here is one
+    # descriptor, so cap at the model MTU like a real descriptor would.
+    per_desc = min(msg_size, model.mtu)
+    n_descs = -(-msg_size // per_desc) * n_messages
+
+    def server():
+        listener = nic1.listen(7)
+        vi = yield from listener.wait_connection()
+        for _ in range(n_descs):
+            vi.post_recv(Descriptor(memory=nic1.memory.register_now(per_desc)))
+        got = 0
+        for i in range(n_descs):
+            yield from vi.reap_recv()
+            got += 1
+            if got == warmup:
+                marks["start"] = sim.now
+        marks["end"] = sim.now
+
+    def client():
+        vi = nic0.make_vi()
+        yield from nic0.connect(vi, "node01", 7)
+        send_mem = nic0.memory.register_now(per_desc)
+        for _ in range(n_descs):
+            yield from vi.post_send(Descriptor(memory=send_mem, length=per_desc))
+
+    srv = sim.process(server())
+    sim.process(client())
+    sim.run(srv)
+    span = marks["end"] - marks["start"]
+    return (n_descs - warmup) * per_desc / span
+
+
+# ---------------------------------------------------------------------------
+# Figure-4 series
+# ---------------------------------------------------------------------------
+
+
+def latency_series(sizes, protocols=("via", "socketvia", "tcp")) -> List[MicrobenchResult]:
+    """Figure 4(a): one-way latency for each protocol and size."""
+    out = []
+    for proto in protocols:
+        for size in sizes:
+            if proto == "via":
+                value = via_ping_pong_latency(size)
+            else:
+                value = ping_pong_latency(proto, size)
+            out.append(MicrobenchResult(proto, size, value))
+    return out
+
+
+def bandwidth_series(sizes, protocols=("via", "socketvia", "tcp")) -> List[MicrobenchResult]:
+    """Figure 4(b): streaming bandwidth for each protocol and size."""
+    out = []
+    for proto in protocols:
+        for size in sizes:
+            if proto == "via":
+                value = via_streaming_bandwidth(size)
+            else:
+                value = streaming_bandwidth(proto, size)
+            out.append(MicrobenchResult(proto, size, value))
+    return out

@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure <id>``
+    Regenerate one paper figure (4a, 4b, 7a, 7b, 8a, 8b, 9a, 9b, 10,
+    11) and print its table.  ``--quick`` shrinks the axes.
+``microbench``
+    Both Figure-4 panels (alias for ``figure 4a`` + ``figure 4b``).
+``calibration``
+    Show the calibrated cost-model parameters next to the paper's
+    targets.
+``list``
+    List available figures with their runtime class.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro._version import __version__
+
+__all__ = ["main"]
+
+
+def _figure_registry() -> Dict[str, Callable]:
+    from repro.bench import figures as f
+
+    return {
+        "2": lambda quick: f.fig2_message_size_economics(),
+        "4a": lambda quick: f.fig4a_latency(
+            sizes=[4, 256, 4096] if quick else None),
+        "4b": lambda quick: f.fig4b_bandwidth(
+            sizes=[2048, 16384, 65536] if quick else None),
+        "7a": lambda quick: f.fig7_update_rate_guarantee(
+            0.0, rates=[4.0, 3.25, 2.0] if quick else None,
+            frames=2 if quick else 3),
+        "7b": lambda quick: f.fig7_update_rate_guarantee(
+            18.0, rates=[3.25, 2.0] if quick else None,
+            frames=2 if quick else 3),
+        "8a": lambda quick: f.fig8_latency_guarantee(
+            0.0, bounds_us=[1000, 400, 100] if quick else None,
+            frames=2 if quick else 3),
+        "8b": lambda quick: f.fig8_latency_guarantee(
+            18.0, bounds_us=[1000, 400, 200] if quick else None,
+            frames=2 if quick else 3),
+        "9a": lambda quick: f.fig9_query_mix(
+            0.0, fractions=[0.0, 0.6, 1.0] if quick else None,
+            n_queries=6 if quick else 10),
+        "9b": lambda quick: f.fig9_query_mix(
+            18.0, fractions=[0.0, 1.0] if quick else None,
+            n_queries=6 if quick else 10),
+        "10": lambda quick: f.fig10_rr_reaction(
+            factors=[2, 10] if quick else None,
+            total_bytes=(4 if quick else 8) * 1024 * 1024),
+        "11": lambda quick: f.fig11_dd_heterogeneity(
+            probabilities=[0.1, 0.9] if quick else None,
+            factors=[2, 8] if quick else None,
+            total_bytes=(2 if quick else 8) * 1024 * 1024),
+    }
+
+#: Rough full-axis runtimes, shown by ``list``.
+_RUNTIME_HINT = {
+    "2": "instant", "4a": "~1 min", "4b": "~3 min", "7a": "~3 min", "7b": "~2.5 min",
+    "8a": "~30 s", "8b": "~25 s", "9a": "~1 min", "9b": "~1 min",
+    "10": "~3 s", "11": "~11 s",
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    registry = _figure_registry()
+    fig_id = args.id.lower().lstrip("fig")
+    if fig_id not in registry:
+        print(f"unknown figure {args.id!r}; have {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    table = registry[fig_id](args.quick)
+    print(table.render())
+    if args.save:
+        path = table.save(args.save)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+def cmd_microbench(args: argparse.Namespace) -> int:
+    for fig_id in ("4a", "4b"):
+        args.id = fig_id
+        rc = cmd_figure(args)
+        if rc:
+            return rc
+        print()
+    return 0
+
+
+def cmd_calibration(_args: argparse.Namespace) -> int:
+    from repro.net import MODELS, PAPER_MICROBENCH
+
+    print("Calibrated transport models (times in us, gaps in ns/B):\n")
+    header = (f"{'model':<12}{'lat(4B)':>9}{'peak Mbps':>11}{'o_msg':>8}"
+              f"{'o_seg':>8}{'g_wire':>8}{'mtu':>8}")
+    print(header)
+    print("-" * len(header))
+    for name, m in sorted(MODELS.items()):
+        print(f"{name:<12}{m.des_message_latency(4) * 1e6:>9.2f}"
+              f"{m.peak_bandwidth_mbps:>11.1f}"
+              f"{m.o_send_msg * 1e6:>8.2f}{m.o_send_seg * 1e6:>8.2f}"
+              f"{m.g_wire * 1e9:>8.2f}{m.mtu:>8}")
+    print("\nPaper targets:", PAPER_MICROBENCH)
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("figures (python -m repro figure <id>):")
+    for fig_id in sorted(_figure_registry()):
+        print(f"  {fig_id:<4} {_RUNTIME_HINT.get(fig_id, '')}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Impact of High Performance Sockets on "
+            "Data Intensive Applications' (HPDC 2003)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command")
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure")
+    p_fig.add_argument("id", help="4a, 4b, 7a, 7b, 8a, 8b, 9a, 9b, 10, 11")
+    p_fig.add_argument("--quick", action="store_true", help="reduced axes")
+    p_fig.add_argument("--save", metavar="DIR", default=None,
+                       help="also write the table to DIR")
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_micro = sub.add_parser("microbench", help="both Figure-4 panels")
+    p_micro.add_argument("--quick", action="store_true")
+    p_micro.add_argument("--save", metavar="DIR", default=None)
+    p_micro.set_defaults(func=cmd_microbench)
+
+    p_cal = sub.add_parser("calibration", help="show model parameters")
+    p_cal.set_defaults(func=cmd_calibration)
+
+    p_list = sub.add_parser("list", help="list available figures")
+    p_list.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 1
+    return args.func(args)

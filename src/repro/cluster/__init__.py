@@ -1,0 +1,26 @@
+"""Cluster hardware models: hosts, CPUs, links, switches, heterogeneity."""
+
+from repro.cluster.hetero import (
+    ConstantSpeed,
+    RandomSlowdown,
+    SlowdownModel,
+    StaticSlowdown,
+)
+from repro.cluster.host import Host, VIRTUAL_MICROSCOPE_NS_PER_BYTE
+from repro.cluster.link import LinkDirection, Port, Switch, Transmission
+from repro.cluster.topology import Cluster, paper_testbed
+
+__all__ = [
+    "Host",
+    "VIRTUAL_MICROSCOPE_NS_PER_BYTE",
+    "SlowdownModel",
+    "ConstantSpeed",
+    "StaticSlowdown",
+    "RandomSlowdown",
+    "Transmission",
+    "LinkDirection",
+    "Port",
+    "Switch",
+    "Cluster",
+    "paper_testbed",
+]

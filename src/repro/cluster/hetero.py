@@ -1,0 +1,104 @@
+"""Heterogeneity (slowdown) models for application computation.
+
+The paper emulates heterogeneous clusters two ways (Section 5.2.3):
+
+* **Static** — some nodes are permanently slower by a *factor of
+  heterogeneity* ``n`` (ratio of fastest to slowest processing speed);
+  used for the round-robin reaction-time experiment (Figure 10).
+* **Dynamic** — a node's per-block computation is slowed by factor ``n``
+  with probability ``p`` ("probability of being slow"); used for the
+  demand-driven experiment (Figure 11).
+
+A model's :meth:`factor` is sampled once per data block processed, so a
+30 % probability means 30 % of the *blocks* run slow — matching the
+paper's "30% of the computation is carried out at a slower pace".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+__all__ = [
+    "SlowdownModel",
+    "ConstantSpeed",
+    "StaticSlowdown",
+    "RandomSlowdown",
+]
+
+
+class SlowdownModel(Protocol):
+    """Interface: per-block multiplicative slowdown factor for a host."""
+
+    def factor(self, host: Any) -> float:
+        """Multiplier applied to one block's computation time (>= 1)."""
+        ...  # pragma: no cover
+
+
+class ConstantSpeed:
+    """Homogeneous node: factor 1 always."""
+
+    def factor(self, host: Any) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "ConstantSpeed()"
+
+
+class StaticSlowdown:
+    """Permanently slow node: every block takes ``factor`` times longer.
+
+    ``factor`` is the paper's *factor of heterogeneity* — the ratio of
+    the fastest node's processing speed to this node's.
+    """
+
+    def __init__(self, factor: float) -> None:
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self._factor = float(factor)
+
+    def factor(self, host: Any) -> float:
+        return self._factor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StaticSlowdown({self._factor})"
+
+
+class RandomSlowdown:
+    """Dynamically slow node: each block is slow with probability *p*.
+
+    Parameters
+    ----------
+    factor:
+        Slowdown applied to a slow block.
+    probability:
+        Chance that any given block is slow (0..1).
+    stream_name:
+        Name of the random stream drawn from the host's
+        :class:`~repro.sim.rng.RandomStreams` — distinct hosts get
+        distinct streams automatically because each host owns its RNG.
+    """
+
+    def __init__(
+        self,
+        factor: float,
+        probability: float,
+        stream_name: str = "slowdown",
+    ) -> None:
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self._factor = float(factor)
+        self.probability = float(probability)
+        self.stream_name = stream_name
+
+    def factor(self, host: Any) -> float:
+        if self.probability == 0.0:
+            return 1.0
+        if self.probability == 1.0:
+            return self._factor
+        gen = host.rng.stream(f"{self.stream_name}.{host.name}")
+        return self._factor if gen.random() < self.probability else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RandomSlowdown(factor={self._factor}, p={self.probability})"

@@ -1,0 +1,137 @@
+"""Cluster assembly: hosts + switch fabrics in one object.
+
+:class:`Cluster` is the root container every experiment builds first::
+
+    cluster = Cluster(seed=7)
+    nodes = cluster.add_hosts("node", 16)      # node00 .. node15
+    # transports attach NICs to cluster.fabric("clan") / ("ethernet")
+
+The default construction mirrors the paper's testbed: 16 dual-CPU nodes
+with a GigaNet cLAN fabric and a Fast Ethernet fabric (the experiments
+only exercise cLAN — TCP runs over cLAN's LAN-emulation path — but both
+fabrics exist so the TCP-over-FastEthernet configuration is available).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import TopologyError
+from repro.sim import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import NULL_TRACER, Tracer
+
+from repro.cluster.hetero import SlowdownModel
+from repro.cluster.host import Host
+from repro.cluster.link import Port, Switch
+
+__all__ = ["Cluster", "paper_testbed"]
+
+
+class Cluster:
+    """A simulator plus named hosts plus named switch fabrics."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.rng = RandomStreams(seed)
+        self.tracer = tracer or NULL_TRACER
+        self.tracer.bind_clock(lambda: self.sim.now)
+        self.hosts: Dict[str, Host] = {}
+        self._fabrics: Dict[str, Switch] = {}
+
+    # -- hosts -------------------------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        cores: int = 2,
+        slowdown: Optional[SlowdownModel] = None,
+        compute_ns_per_byte: Optional[float] = None,
+    ) -> Host:
+        """Create one host and a port on every existing fabric."""
+        if name in self.hosts:
+            raise TopologyError(f"duplicate host name {name!r}")
+        kwargs = {}
+        if compute_ns_per_byte is not None:
+            kwargs["compute_ns_per_byte"] = compute_ns_per_byte
+        host = Host(
+            self.sim,
+            name,
+            cores=cores,
+            slowdown=slowdown,
+            rng=self.rng.spawn(f"host.{name}"),
+            **kwargs,
+        )
+        self.hosts[name] = host
+        for fabric in self._fabrics.values():
+            fabric.add_port(name)
+        return host
+
+    def add_hosts(self, prefix: str, count: int, **kwargs) -> List[Host]:
+        """Create ``count`` hosts named ``{prefix}00..`` and return them."""
+        return [self.add_host(f"{prefix}{i:02d}", **kwargs) for i in range(count)]
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise TopologyError(
+                f"no host {name!r} (have {sorted(self.hosts)})"
+            ) from None
+
+    # -- fabrics ------------------------------------------------------------------
+
+    def add_fabric(self, name: str, propagation: float = 0.0) -> Switch:
+        """Create a switch fabric; existing hosts get ports on it."""
+        if name in self._fabrics:
+            raise TopologyError(f"duplicate fabric {name!r}")
+        switch = Switch(self.sim, propagation=propagation, name=name)
+        self._fabrics[name] = switch
+        for host_name in self.hosts:
+            switch.add_port(host_name)
+        return switch
+
+    def fabric(self, name: str) -> Switch:
+        """Look up a fabric by name."""
+        try:
+            return self._fabrics[name]
+        except KeyError:
+            raise TopologyError(
+                f"no fabric {name!r} (have {sorted(self._fabrics)})"
+            ) from None
+
+    def port(self, fabric: str, host: str) -> Port:
+        """The given host's port on the given fabric."""
+        return self.fabric(fabric).port(host)
+
+    @property
+    def fabric_names(self) -> List[str]:
+        return sorted(self._fabrics)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Cluster hosts={len(self.hosts)} "
+            f"fabrics={self.fabric_names}>"
+        )
+
+
+def paper_testbed(
+    nodes: int = 16,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> Cluster:
+    """The paper's testbed: *nodes* dual-CPU hosts, cLAN + Fast Ethernet.
+
+    Host names are ``node00`` .. ``node{nodes-1:02d}``.
+    """
+    cluster = Cluster(seed=seed, tracer=tracer)
+    cluster.add_fabric("clan")
+    cluster.add_fabric("ethernet")
+    cluster.add_hosts("node", nodes, cores=2)
+    return cluster

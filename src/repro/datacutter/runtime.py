@@ -1,0 +1,284 @@
+"""The DataCutter filter runtime.
+
+Responsibilities (paper Section 4.1):
+
+* instantiate a validated :class:`~repro.datacutter.group.FilterGroup`
+  onto cluster hosts per a placement;
+* "establish socket connections between filters placed on different
+  hosts before starting the execution of the application query" — a
+  full producer-copy x consumer-copy mesh per logical stream, over
+  whichever protocol the :class:`~repro.sockets.factory.ProtocolAPI`
+  provides (TCP or SocketVIA: the runtime is transport-agnostic, which
+  is the paper's point);
+* drive units of work: call every copy's ``process``, then broadcast
+  end-of-work markers downstream;
+* call ``init``/``finalize`` around the query stream.
+
+Usage::
+
+    runtime = DataCutterRuntime(cluster, protocol="socketvia")
+    app = runtime.instantiate(group, placement)
+
+    def main():
+        yield from app.start()
+        uow = yield from app.run_uow(payload=my_query)
+        yield from app.finalize()
+
+    cluster.sim.process(main())
+    cluster.sim.run()
+
+Units of work run sequentially (concurrent queries belong to separate
+filter-group instances, as in the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.cluster.topology import Cluster
+from repro.datacutter.filters import Filter, FilterContext, maybe_generator
+from repro.datacutter.group import FilterGroup, Placement
+from repro.datacutter.scheduling import (
+    DEFAULT_MAX_OUTSTANDING,
+    WriteScheduler,
+    make_scheduler,
+)
+from repro.datacutter.streams import InputPort, OutputPort
+from repro.errors import DataCutterError
+from repro.sim import Event, SeriesRecorder, Tally
+from repro.sockets.factory import ProtocolAPI
+
+__all__ = ["UnitOfWork", "DataCutterRuntime", "AppInstance"]
+
+#: First listener port used by filter-group instantiation.
+BASE_PORT = 6000
+
+
+@dataclass
+class UnitOfWork:
+    """One application query processed by the filter group."""
+
+    uow_id: int
+    payload: Any = None
+    submitted_at: float = 0.0
+    completed_at: Optional[float] = None
+
+    @property
+    def elapsed(self) -> float:
+        """Makespan of the unit of work (raises mid-flight)."""
+        if self.completed_at is None:
+            raise DataCutterError(f"UOW {self.uow_id} not completed yet")
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class _Copy:
+    """One transparent copy: the filter object and its context."""
+
+    filter_name: str
+    index: int
+    filter: Filter
+    ctx: FilterContext
+
+
+class DataCutterRuntime:
+    """Factory of :class:`AppInstance` objects on one cluster."""
+
+    _port_counter = itertools.count(BASE_PORT)
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        protocol: str = "socketvia",
+        api: Optional[ProtocolAPI] = None,
+        max_outstanding: int = DEFAULT_MAX_OUTSTANDING,
+        **api_options: Any,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.api = api or ProtocolAPI(cluster, protocol, **api_options)
+        self.max_outstanding = max_outstanding
+
+    def instantiate(self, group: FilterGroup, placement: Placement) -> "AppInstance":
+        """Validate the group and build (but do not start) an instance."""
+        group.validate()
+        return AppInstance(self, group, placement)
+
+
+class AppInstance:
+    """A placed, connectable, runnable filter group."""
+
+    def __init__(
+        self,
+        runtime: DataCutterRuntime,
+        group: FilterGroup,
+        placement: Placement,
+    ) -> None:
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.group = group
+        self.placement = placement
+        self.metrics: Dict[str, Tally] = {}
+        self.series: Dict[str, SeriesRecorder] = {}
+        self._uow_counter = itertools.count(1)
+        self.started = False
+        self._copies: Dict[Tuple[str, int], _Copy] = {}
+        self._schedulers: Dict[Tuple[str, int, str], WriteScheduler] = {}
+        self._build()
+
+    # -- construction -----------------------------------------------------------------
+
+    def _build(self) -> None:
+        cluster = self.runtime.cluster
+        for spec in self.group.filters.values():
+            for idx in range(spec.copies):
+                host = cluster.host(self.placement.host_for(spec.name, idx))
+                filt = spec.factory()
+                if not isinstance(filt, Filter):
+                    raise DataCutterError(
+                        f"factory for {spec.name!r} returned "
+                        f"{type(filt).__name__}, not a Filter"
+                    )
+                ctx = FilterContext(self, spec.name, idx, host)
+                self._copies[(spec.name, idx)] = _Copy(spec.name, idx, filt, ctx)
+
+        # Ports per stream endpoint.
+        for stream in self.group.streams:
+            producer = self.group.filters[stream.producer]
+            consumer = self.group.filters[stream.consumer]
+            policy = self.group.policy_for(stream.producer)
+            for i in range(producer.copies):
+                sched = make_scheduler(
+                    policy,
+                    self.sim,
+                    consumer.copies,
+                    max_outstanding=self.runtime.max_outstanding,
+                )
+                self._schedulers[(stream.producer, i, stream.name)] = sched
+                port = OutputPort(self.sim, f"{stream.name}[{i}]", sched)
+                self._copies[(stream.producer, i)].ctx.outputs[stream.name] = port
+            for j in range(consumer.copies):
+                port = InputPort(
+                    self.sim, f"{stream.name}->[{j}]", producer.copies
+                )
+                self._copies[(stream.consumer, j)].ctx.inputs[stream.name] = port
+
+    # -- introspection ------------------------------------------------------------------
+
+    def copy(self, filter_name: str, index: int = 0) -> _Copy:
+        """Look up a transparent copy."""
+        try:
+            return self._copies[(filter_name, index)]
+        except KeyError:
+            raise DataCutterError(
+                f"no copy {filter_name!r}[{index}]"
+            ) from None
+
+    def scheduler(self, producer: str, copy: int, stream: str) -> WriteScheduler:
+        """The write scheduler of one producer copy on one stream."""
+        try:
+            return self._schedulers[(producer, copy, stream)]
+        except KeyError:
+            raise DataCutterError(
+                f"no scheduler for {producer!r}[{copy}] on {stream!r}"
+            ) from None
+
+    def record(self, metric: str, value: float) -> None:
+        """Record a sample into an app-wide tally and time series."""
+        tally = self.metrics.get(metric)
+        if tally is None:
+            tally = self.metrics[metric] = Tally(metric)
+            self.series[metric] = SeriesRecorder(metric)
+        tally.record(value)
+        self.series[metric].record(self.sim.now, value)
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def start(self) -> Generator[Event, Any, None]:
+        """Establish every stream connection, then run filter inits."""
+        if self.started:
+            raise DataCutterError("instance already started")
+        setup_procs = []
+        api = self.runtime.api
+
+        for stream in self.group.streams:
+            producer_spec = self.group.filters[stream.producer]
+            consumer_spec = self.group.filters[stream.consumer]
+            for j in range(consumer_spec.copies):
+                consumer_copy = self._copies[(stream.consumer, j)]
+                port_no = next(DataCutterRuntime._port_counter)
+                listener = api.listen(consumer_copy.ctx.host, port_no)
+                in_port = consumer_copy.ctx.inputs[stream.name]
+
+                def acceptor(listener=listener, in_port=in_port,
+                             n=producer_spec.copies):
+                    for k in range(n):
+                        sock = yield from listener.accept()
+                        in_port.attach(k, sock)
+
+                setup_procs.append(self.sim.process(
+                    acceptor(), name=f"accept.{stream.name}[{j}]"
+                ))
+
+                for i in range(producer_spec.copies):
+                    producer_copy = self._copies[(stream.producer, i)]
+                    out_port = producer_copy.ctx.outputs[stream.name]
+
+                    def connector(host=producer_copy.ctx.host,
+                                  dst=(consumer_copy.ctx.host.name, port_no),
+                                  out_port=out_port, j=j):
+                        sock = api.socket(host)
+                        yield from sock.connect(dst)
+                        out_port.attach(j, sock)
+
+                    setup_procs.append(self.sim.process(
+                        connector(), name=f"connect.{stream.name}[{i}->{j}]"
+                    ))
+
+        if setup_procs:
+            yield self.sim.all_of(setup_procs)
+        for copy in self._copies.values():
+            yield from maybe_generator(copy.filter.init(copy.ctx))
+        self.started = True
+
+    def run_uow(self, payload: Any = None) -> Generator[Event, Any, UnitOfWork]:
+        """Run one unit of work through every filter copy; returns it
+        completed.  UOWs are strictly sequential per instance."""
+        if not self.started:
+            raise DataCutterError("start() the instance before run_uow()")
+        uow = UnitOfWork(
+            uow_id=next(self._uow_counter),
+            payload=payload,
+            submitted_at=self.sim.now,
+        )
+        procs: List[Event] = []
+        for copy in self._copies.values():
+            copy.ctx.uow = uow
+            procs.append(self.sim.process(
+                self._copy_proc(copy, uow),
+                name=f"{self.group.name}.{copy.ctx.name}.uow{uow.uow_id}",
+            ))
+        yield self.sim.all_of(procs)
+        uow.completed_at = self.sim.now
+        return uow
+
+    def _copy_proc(self, copy: _Copy, uow: UnitOfWork):
+        yield from maybe_generator(copy.filter.process(copy.ctx))
+        for port in copy.ctx.outputs.values():
+            yield from port.send_eow(uow.uow_id)
+
+    def finalize(self) -> Generator[Event, Any, None]:
+        """Run filter finalizers and close all stream connections."""
+        for copy in self._copies.values():
+            yield from maybe_generator(copy.filter.finalize(copy.ctx))
+        for copy in self._copies.values():
+            for port in copy.ctx.outputs.values():
+                port.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<AppInstance {self.group.name!r} copies={len(self._copies)} "
+            f"started={self.started}>"
+        )

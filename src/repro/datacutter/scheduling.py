@@ -1,0 +1,173 @@
+"""Buffer scheduling across transparent copies (paper Section 4.1).
+
+When a producer filter writes to a logical stream whose consumer has
+transparent copies, a *write scheduler* picks the copy each buffer goes
+to.  DataCutter supports:
+
+* **Round-Robin (RR)** — strict rotation.  With bounded outstanding
+  buffers per consumer, a slow node causes head-of-line blocking: the
+  rotation *must* wait for the slow copy's slot, which is exactly the
+  pathology Figure 10 measures.
+* **Demand-Driven (DD)** — "a producer filter chooses the consumer
+  filter with the minimum number of unacknowledged buffers".  Consumers
+  acknowledge a buffer when they start processing it, so fast copies
+  drain their slots quicker and attract more work (Figure 11).
+
+Both schedulers bound outstanding (unacknowledged) buffers per consumer
+at ``max_outstanding`` (default 2: one in processing + one in flight —
+the classic double-buffering depth for pipelining).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.errors import DataCutterError
+from repro.sim import Event, Simulator
+from repro.sim.monitor import Tally
+
+__all__ = ["WriteScheduler", "RoundRobinScheduler", "DemandDrivenScheduler", "make_scheduler"]
+
+DEFAULT_MAX_OUTSTANDING = 2
+
+
+class WriteScheduler:
+    """Base: tracks unacknowledged buffers per consumer copy.
+
+    Subclasses implement :meth:`_pick`, returning the index of an
+    *eligible* consumer (one with a free slot) or ``None`` if a policy
+    constraint forces waiting even though some consumer has room (RR's
+    head-of-line rule).
+    """
+
+    policy_name = "base"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_consumers: int,
+        max_outstanding: int = DEFAULT_MAX_OUTSTANDING,
+    ) -> None:
+        if n_consumers < 1:
+            raise DataCutterError("scheduler needs at least one consumer")
+        if max_outstanding < 1:
+            raise DataCutterError("max_outstanding must be >= 1")
+        self.sim = sim
+        self.n_consumers = n_consumers
+        self.max_outstanding = max_outstanding
+        self.unacked: List[int] = [0] * n_consumers
+        self.sent_counts: List[int] = [0] * n_consumers
+        self.acked_counts: List[int] = [0] * n_consumers
+        #: Per-consumer timestamp of the most recent send (experiments
+        #: derive reaction times from these).
+        self.last_send_at: List[float] = [0.0] * n_consumers
+        self.last_ack_at: List[float] = [0.0] * n_consumers
+        self.ack_delay: List[Tally] = [Tally(f"ack_delay[{i}]") for i in range(n_consumers)]
+        self._waiters: List[Event] = []
+
+    # -- acquisition -------------------------------------------------------------------
+
+    def acquire(self) -> Generator[Event, Any, int]:
+        """Block until the policy can place a buffer; returns the
+        consumer index with its slot reserved."""
+        while True:
+            idx = self._pick()
+            if idx is not None:
+                self.unacked[idx] += 1
+                self.sent_counts[idx] += 1
+                self.last_send_at[idx] = self.sim.now
+                return idx
+            waiter = Event(self.sim)
+            self._waiters.append(waiter)
+            yield waiter
+
+    def on_ack(self, idx: int) -> None:
+        """A consumer acknowledged one buffer (it started processing)."""
+        if not 0 <= idx < self.n_consumers:
+            raise DataCutterError(f"ack from unknown consumer {idx}")
+        if self.unacked[idx] <= 0:
+            raise DataCutterError(f"consumer {idx} over-acknowledged")
+        self.unacked[idx] -= 1
+        self.acked_counts[idx] += 1
+        self.last_ack_at[idx] = self.sim.now
+        self.ack_delay[idx].record(self.sim.now - self.last_send_at[idx])
+        self._wake()
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            w.succeed()
+
+    # -- policy ---------------------------------------------------------------------------
+
+    def _pick(self) -> Optional[int]:
+        raise NotImplementedError
+
+    def _has_room(self, idx: int) -> bool:
+        return self.unacked[idx] < self.max_outstanding
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} unacked={self.unacked}>"
+
+
+class RoundRobinScheduler(WriteScheduler):
+    """Strict rotation; waits (head-of-line) for the next copy's slot."""
+
+    policy_name = "rr"
+
+    def __init__(self, sim: Simulator, n_consumers: int, **kw) -> None:
+        super().__init__(sim, n_consumers, **kw)
+        self._next = 0
+
+    def _pick(self) -> Optional[int]:
+        if self._has_room(self._next):
+            idx = self._next
+            self._next = (self._next + 1) % self.n_consumers
+            return idx
+        return None  # wait for *this* consumer, even if others are free
+
+
+class DemandDrivenScheduler(WriteScheduler):
+    """Min-unacknowledged-buffers choice (paper's DD mechanism)."""
+
+    policy_name = "dd"
+
+    def __init__(self, sim: Simulator, n_consumers: int, **kw) -> None:
+        super().__init__(sim, n_consumers, **kw)
+        self._rotation = 0  # tie-break fairness
+
+    def _pick(self) -> Optional[int]:
+        best = None
+        best_count = None
+        for off in range(self.n_consumers):
+            idx = (self._rotation + off) % self.n_consumers
+            if not self._has_room(idx):
+                continue
+            if best_count is None or self.unacked[idx] < best_count:
+                best = idx
+                best_count = self.unacked[idx]
+        if best is not None:
+            self._rotation = (best + 1) % self.n_consumers
+        return best
+
+
+_POLICIES = {
+    "rr": RoundRobinScheduler,
+    "dd": DemandDrivenScheduler,
+}
+
+
+def make_scheduler(
+    policy: str,
+    sim: Simulator,
+    n_consumers: int,
+    max_outstanding: int = DEFAULT_MAX_OUTSTANDING,
+) -> WriteScheduler:
+    """Factory: ``"rr"`` or ``"dd"``."""
+    try:
+        cls = _POLICIES[policy]
+    except KeyError:
+        raise DataCutterError(
+            f"unknown scheduling policy {policy!r}; have {sorted(_POLICIES)}"
+        ) from None
+    return cls(sim, n_consumers, max_outstanding=max_outstanding)

@@ -1,0 +1,63 @@
+"""Per-host NIC demultiplexer.
+
+Each (host, fabric) pair gets one :class:`NicDemux`, registered as the
+switch port's consumer: every arriving
+:class:`~repro.cluster.link.Transmission` is dispatched synchronously
+to the stack that registered its ``tag`` ("tcp", "sv.socketvia", ...).
+This mirrors how a real NIC separates LAN-emulation frames from native
+VI traffic on the cLAN adapter.
+
+Dispatch itself costs no simulated time (stacks charge their own
+receive costs) and no kernel events (hot path); unknown tags raise,
+because a misrouted transmission is always a library bug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.cluster.host import Host
+from repro.cluster.link import Port, Transmission
+from repro.errors import NetworkError
+
+__all__ = ["NicDemux", "demux_for"]
+
+_SERVICE_KEY = "nic_demux.{fabric}"
+
+
+class NicDemux:
+    """Routes arriving transmissions to per-stack handlers by tag."""
+
+    def __init__(self, host: Host, port: Port, fabric_name: str) -> None:
+        self.host = host
+        self.port = port
+        self.fabric_name = fabric_name
+        self._handlers: Dict[str, Callable[[Transmission], None]] = {}
+        port.set_consumer(self._dispatch)
+
+    def register(self, tag: str, handler: Callable[[Transmission], None]) -> None:
+        """Route transmissions tagged *tag* to *handler*."""
+        if tag in self._handlers:
+            raise NetworkError(
+                f"{self.host.name}/{self.fabric_name}: tag {tag!r} already has a handler"
+            )
+        self._handlers[tag] = handler
+
+    def _dispatch(self, tx: Transmission) -> None:
+        handler = self._handlers.get(tx.tag)
+        if handler is None:
+            raise NetworkError(
+                f"{self.host.name}/{self.fabric_name}: no handler for "
+                f"transmission tag {tx.tag!r}"
+            )
+        handler(tx)
+
+
+def demux_for(host: Host, port: Port, fabric_name: str) -> NicDemux:
+    """Get (or lazily create) the demux for *host* on *fabric_name*."""
+    key = _SERVICE_KEY.format(fabric=fabric_name)
+    demux = host.services.get(key)
+    if demux is None:
+        demux = NicDemux(host, port, fabric_name)
+        host.services[key] = demux
+    return demux

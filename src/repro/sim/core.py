@@ -1,0 +1,209 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the event heap.  Everything
+else in the library — NIC DMA engines, TCP stacks, DataCutter filters —
+is expressed as processes and events scheduled on one of these.
+
+Time is a ``float`` in **seconds**.  Helper constants for common units live
+in :mod:`repro.sim.units`.
+
+Determinism
+-----------
+Heap entries are ordered by ``(time, priority, sequence)`` where the
+sequence number increments per scheduled event, so simultaneous events are
+processed in scheduling order.  Given the same seed (see
+:mod:`repro.sim.rng`) a simulation is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import EventLifecycleError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event loop + virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the clock (seconds).  Defaults to 0.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(1.5)
+    ...     return "done"
+    >>> p = sim.process(hello(sim))
+    >>> sim.run()
+    >>> sim.now
+    1.5
+    >>> p.value
+    'done'
+    """
+
+    #: Heap priority for kernel-internal events (process starts, interrupts).
+    URGENT = 0
+    #: Default heap priority for user events.
+    NORMAL = 1
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: The process currently being resumed, if any (for diagnostics).
+        self._active_process: Optional[Process] = None
+        self._trace_hooks: List[Any] = []
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Put a *triggered* event on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise EventLifecycleError(f"cannot schedule into the past ({delay})")
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    # -- factory helpers --------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event, to be succeeded/failed by the caller."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now with *value*."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Register *generator* as a process; it starts at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that fires when every event in *events* has fired."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that fires when any event in *events* has fired."""
+        return AnyOf(self, list(events))
+
+    # -- tracing ---------------------------------------------------------------
+
+    def add_trace_hook(self, hook: Any) -> None:
+        """Register a callable ``hook(time, event)`` invoked per processed event."""
+        self._trace_hooks.append(hook)
+
+    def remove_trace_hook(self, hook: Any) -> None:
+        """Unregister a trace hook (no-op if absent)."""
+        try:
+            self._trace_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    # -- the loop ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise StopSimulation("event heap is empty")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+
+        callbacks = event.callbacks
+        event.callbacks = None  # marks PROCESSED
+        for hook in self._trace_hooks:
+            hook(when, event)
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event.defused:
+            # A failure nobody handled: crash loudly with the original error.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the heap is empty.
+            * a number — run until the clock reaches that time (the clock is
+              set to exactly ``until`` on return, even if no event lands
+              there).
+            * an :class:`Event` — run until that event is processed and
+              return its value (raising its exception if it failed).
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_at = float("inf")
+            stop_event = until
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+        else:
+            stop_at = float(until)
+            stop_event = None
+            if stop_at < self._now:
+                raise ValueError(
+                    f"cannot run until {stop_at} < current time {self._now}"
+                )
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self._heap[0][0] > stop_at:
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise StopSimulation(
+                    "event heap ran dry before the awaited event fired"
+                )
+            stop_event.defused = True
+            if stop_event.ok:
+                return stop_event.value
+            raise stop_event.value
+
+        if stop_at != float("inf"):
+            self._now = max(self._now, stop_at)
+        return None
+
+    def run_all(self, max_events: int = 50_000_000) -> int:
+        """Run until empty with a safety valve; returns events processed."""
+        n = 0
+        while self._heap:
+            self.step()
+            n += 1
+            if n >= max_events:
+                raise StopSimulation(f"exceeded max_events={max_events}")
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Simulator now={self._now:.9f} pending={len(self._heap)}>"

@@ -1,0 +1,278 @@
+"""Core event types for the discrete-event kernel.
+
+The kernel is a classic event-driven simulator in the style of SimPy: an
+:class:`Event` is a one-shot future that can *succeed* with a value or
+*fail* with an exception, and carries a list of callbacks invoked when the
+simulator processes it.  Simulation processes (see :mod:`repro.sim.process`)
+are generators that ``yield`` events to suspend until those events fire.
+
+Event lifecycle::
+
+    PENDING ---succeed()/fail()---> TRIGGERED ---(event loop)---> PROCESSED
+
+* ``PENDING``   — created, not yet scheduled; callbacks may be added.
+* ``TRIGGERED`` — has a value/exception and sits on the event heap.
+* ``PROCESSED`` — callbacks have run; ``value``/``exception`` are readable.
+
+Failed events that nobody observed (no callbacks, not *defused*) crash the
+simulation at the point they are processed — silent failure is the enemy of
+a correct model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import EventLifecycleError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulator
+
+__all__ = [
+    "PENDING",
+    "TRIGGERED",
+    "PROCESSED",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+]
+
+#: Sentinel object marking an event whose value has not been set yet.
+_UNSET = object()
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot future tied to a :class:`~repro.sim.core.Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.  The event can only be scheduled on its heap.
+
+    Notes
+    -----
+    ``callbacks`` is a plain list while the event is pending or triggered
+    and becomes ``None`` once processed; appending to a processed event is
+    an error (checked by :meth:`add_callback`).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _UNSET
+        self._ok: Optional[bool] = None
+        #: When True, an exception carried by this event will not crash the
+        #: simulation even if no callback consumed it.
+        self.defused = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current lifecycle state (``pending``/``triggered``/``processed``)."""
+        if self.callbacks is None:
+            return PROCESSED
+        if self._value is not _UNSET:
+            return TRIGGERED
+        return PENDING
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (scheduled or processed)."""
+        return self._value is not _UNSET
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid after triggering."""
+        if self._ok is None:
+            raise EventLifecycleError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value (or the exception object for failed events)."""
+        if self._value is _UNSET:
+            raise EventLifecycleError(f"{self!r} has no value yet")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or ``None`` if the event succeeded."""
+        if self._ok is None:
+            raise EventLifecycleError(f"{self!r} has not been triggered yet")
+        return self._value if not self._ok else None
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and put it on the event heap *now*."""
+        if self._value is not _UNSET:
+            raise EventLifecycleError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed and put it on the event heap *now*."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _UNSET:
+            raise EventLifecycleError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self)
+        return self
+
+    def trigger(self, source: "Event") -> None:
+        """Copy the outcome of *source* into this event (used by conditions)."""
+        if source._ok:
+            self.succeed(source._value)
+        else:
+            self.fail(source._value)
+
+    # -- callback management --------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register *callback* to run when this event is processed."""
+        if self.callbacks is None:
+            raise EventLifecycleError(f"{self!r} already processed")
+        self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Unregister a callback; a no-op if it is not registered."""
+        if self.callbacks is not None:
+            try:
+                self.callbacks.remove(callback)
+            except ValueError:
+                pass
+
+    # -- operators ------------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} state={self.state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay.
+
+    Created already *triggered* (its value is known) and scheduled
+    ``delay`` time units in the future.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Timeout delay={self.delay} state={self.state}>"
+
+
+class Condition(Event):
+    """An event composed of child events, fired by an evaluation predicate.
+
+    The condition succeeds when ``evaluate(children, n_done)`` returns True,
+    with a value equal to a dict mapping each *triggered* child to its value
+    (insertion-ordered by the original children list).  If any child fails,
+    the condition fails with the child's exception.
+    """
+
+    __slots__ = ("_children", "_evaluate", "_n_done")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: Callable[[List[Event], int], bool],
+        children: List[Event],
+    ) -> None:
+        super().__init__(sim)
+        self._children = list(children)
+        self._evaluate = evaluate
+        self._n_done = 0
+        for child in self._children:
+            if child.sim is not sim:
+                raise ValueError("condition children must share one simulator")
+        # Immediately check already-processed children, then subscribe.
+        for child in self._children:
+            if child.processed:
+                self._on_child(child)
+            else:
+                child.add_callback(self._on_child)
+        # Degenerate case: the predicate may hold with zero children
+        # (e.g. AllOf([]) is vacuously true).
+        if not self.triggered and self._evaluate(self._children, self._n_done):
+            self.succeed(self._collect_values())
+
+    def _collect_values(self) -> dict:
+        # Only *processed* children count: a Timeout is "triggered" from
+        # construction (its value is pre-set) but has not fired yet.
+        return {
+            child: child._value
+            for child in self._children
+            if child.processed and child._ok
+        }
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child._ok:
+            child.defused = True
+            self.fail(child._value)
+            return
+        self._n_done += 1
+        if self._evaluate(self._children, self._n_done):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(children: List[Event], n_done: int) -> bool:
+        """Predicate: every child has fired."""
+        return n_done == len(children)
+
+    @staticmethod
+    def any_event(children: List[Event], n_done: int) -> bool:
+        """Predicate: at least one child has fired."""
+        return n_done > 0 or not children
+
+
+class AllOf(Condition):
+    """Condition that fires when *all* children have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", children: List[Event]) -> None:
+        super().__init__(sim, Condition.all_events, children)
+
+
+class AnyOf(Condition):
+    """Condition that fires when *any* child has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", children: List[Event]) -> None:
+        super().__init__(sim, Condition.any_event, children)

@@ -1,0 +1,402 @@
+"""Shared-resource primitives for simulation processes.
+
+Three families, mirroring what the transport and runtime models need:
+
+* :class:`Resource` / :class:`PriorityResource` — capacity-limited servers
+  (CPU cores, NIC DMA engines, switch ports).
+* :class:`Store` — FIFO channel of Python objects with optional capacity
+  (socket buffers, descriptor queues, filter streams).
+* :class:`Container` — a counted pool of indistinguishable units
+  (flow-control credits).
+
+All blocking operations return events to be ``yield``-ed by a process.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = [
+    "Request",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "Container",
+]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Yield it to wait for the grant; pass it to :meth:`Resource.release`
+    when done.  If the waiting process is interrupted, call :meth:`cancel`
+    to withdraw from the queue.
+    """
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+
+    def cancel(self) -> None:
+        """Withdraw this request.
+
+        Safe to call in any state: a queued request is removed from the
+        queue; a granted request is released; a processed-and-released
+        request is ignored.
+        """
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A server with ``capacity`` concurrent slots and a FIFO wait queue.
+
+    Examples
+    --------
+    ::
+
+        cpu = Resource(sim, capacity=2)
+
+        def job(sim, cpu):
+            req = cpu.request()
+            yield req
+            try:
+                yield sim.timeout(0.010)
+            finally:
+                cpu.release(req)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of granted (busy) slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting."""
+        return len(self._queue)
+
+    # -- queue discipline (overridden by PriorityResource) -----------------------
+
+    def _enqueue(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def _dequeue(self) -> Optional[Request]:
+        return self._queue.popleft() if self._queue else None
+
+    def _remove_from_queue(self, request: Request) -> bool:
+        try:
+            self._queue.remove(request)
+            return True
+        except ValueError:
+            return False
+
+    # -- public API ---------------------------------------------------------------
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self, priority)
+        if len(self._users) < self.capacity and not self._queue:
+            self._grant(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Free the slot held by *request* and grant the next waiter."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError(
+                f"release() of a request not holding {self.name or 'resource'}"
+            ) from None
+        self._grant_next()
+
+    def use(self, duration: float, priority: int = 0) -> Generator[Event, Any, None]:
+        """Convenience: acquire, hold for *duration*, release.
+
+        Intended for ``yield from cpu.use(t)`` — the canonical way the
+        library charges CPU time to a host.
+        """
+        req = self.request(priority)
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _grant(self, request: Request) -> None:
+        self._users.append(request)
+        request.succeed(request)
+
+    def _grant_next(self) -> None:
+        while len(self._users) < self.capacity:
+            nxt = self._dequeue()
+            if nxt is None:
+                return
+            self._grant(nxt)
+
+    def _cancel(self, request: Request) -> None:
+        if self._remove_from_queue(request):
+            return
+        if request in self._users:
+            self.release(request)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<{type(self).__name__} {self.name!r} {self.count}/{self.capacity}"
+            f" busy, {self.queue_length} queued>"
+        )
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by ``priority`` (low first).
+
+    Ties break FIFO via a monotone sequence number.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        super().__init__(sim, capacity, name)
+        self._pqueue: List[Tuple[int, int, Request]] = []
+        self._pseq = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pqueue)
+
+    def _enqueue(self, request: Request) -> None:
+        heapq.heappush(self._pqueue, (request.priority, self._pseq, request))
+        self._pseq += 1
+
+    def _dequeue(self) -> Optional[Request]:
+        while self._pqueue:
+            _, _, req = heapq.heappop(self._pqueue)
+            if req is not None:
+                return req
+        return None
+
+    def _remove_from_queue(self, request: Request) -> bool:
+        for i, (prio, seq, req) in enumerate(self._pqueue):
+            if req is request:
+                # Lazy deletion would complicate queue_length; rebuild instead
+                # (queues here are short: per-core or per-port).
+                del self._pqueue[i]
+                heapq.heapify(self._pqueue)
+                return True
+        return False
+
+
+class Store:
+    """A FIFO channel of arbitrary items with optional capacity.
+
+    ``put(item)`` returns an event that fires once the item is accepted
+    (immediately if there is space); ``get()`` returns an event that fires
+    with the next item.  This is the backbone of every queue in the stack:
+    socket buffers, VIA descriptor rings, DataCutter streams.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        name: str = "",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of items currently buffered."""
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def peek(self) -> Any:
+        """The next item to be delivered, without removing it."""
+        if not self._items:
+            raise SimulationError(f"peek() on empty store {self.name!r}")
+        return self._items[0]
+
+    # -- operations --------------------------------------------------------------------
+
+    def put(self, item: Any) -> Event:
+        """Offer *item*; the event fires when the store accepts it."""
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: True if accepted immediately."""
+        if len(self._items) < self.capacity or self._getters:
+            ev = self.put(item)
+            assert ev.triggered
+            ev.defused = True
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Take the next item; the event fires with it as value."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items or self._putters:
+            ev = self.get()
+            if ev.triggered:
+                ev.defused = True
+                return True, ev._value
+            # No item materialized (shouldn't happen); withdraw.
+            self._getters.remove(ev)
+            return False, None
+        return False, None
+
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw a pending get (e.g. after an interrupt)."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+    def cancel_put(self, event: Event) -> None:
+        """Withdraw a pending put."""
+        for i, (ev, _item) in enumerate(self._putters):
+            if ev is event:
+                del self._putters[i]
+                return
+
+    # -- internals --------------------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Move items from putters to the buffer to getters until blocked."""
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self._items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self._items.append(item)
+                ev.succeed()
+                progressed = True
+            while self._getters and self._items:
+                ev = self._getters.popleft()
+                ev.succeed(self._items.popleft())
+                progressed = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cap = "inf" if self.capacity == float("inf") else str(self.capacity)
+        return f"<Store {self.name!r} {len(self._items)}/{cap}>"
+
+
+class Container:
+    """A counted pool of indistinguishable units (e.g. flow-control credits).
+
+    ``get(n)`` blocks until *n* units are available; ``put(n)`` returns
+    units (blocking only if a finite capacity would overflow).  Waiters are
+    served FIFO, and a large ``get`` at the head of the queue blocks later
+    small ones — the conservative discipline credit protocols need.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        init: float = 0,
+        name: str = "",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must satisfy 0 <= init <= capacity")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._level = init
+        self._getters: Deque[Tuple[Event, float]] = deque()
+        self._putters: Deque[Tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Units currently available."""
+        return self._level
+
+    def get(self, amount: float = 1) -> Event:
+        """Take *amount* units, blocking until available."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        ev = Event(self.sim)
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def put(self, amount: float = 1) -> Event:
+        """Return *amount* units, blocking if capacity would overflow."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > self.capacity:
+            raise ValueError("amount exceeds container capacity")
+        ev = Event(self.sim)
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed()
+                    progressed = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    ev.succeed()
+                    progressed = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Container {self.name!r} level={self._level}/{self.capacity}>"

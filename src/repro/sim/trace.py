@@ -1,0 +1,95 @@
+"""Lightweight structured tracing.
+
+Subsystems emit trace records — ``tracer.emit("tcp.segment", size=1460)`` —
+and tests or debugging sessions subscribe to kinds they care about.  When
+nothing is subscribed and recording is off, ``emit`` is a two-attribute
+check, so traces can stay in hot paths permanently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event: a timestamp, a dotted kind, and free-form fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kv = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"[{self.time:.9f}] {self.kind} {kv}"
+
+
+class Tracer:
+    """Collects and dispatches :class:`TraceRecord` objects.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (simulated) time.
+    max_records:
+        Ring-buffer size when recording is enabled; oldest records drop.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        max_records: int = 100_000,
+    ) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.recording = False
+        self.records: Deque[TraceRecord] = deque(maxlen=max_records)
+        self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach (or replace) the time source."""
+        self._clock = clock
+
+    def subscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Call *fn* for every record of *kind* (exact match, or ``""`` = all)."""
+        self._subscribers.setdefault(kind, []).append(fn)
+
+    def unsubscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Remove a subscription (no-op if absent)."""
+        fns = self._subscribers.get(kind)
+        if fns and fn in fns:
+            fns.remove(fn)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Emit a record; cheap when nobody is listening."""
+        if not self.recording and not self._subscribers:
+            return
+        rec = TraceRecord(self._clock(), kind, fields)
+        if self.recording:
+            self.records.append(rec)
+        for fn in self._subscribers.get(kind, ()):
+            fn(rec)
+        for fn in self._subscribers.get("", ()):
+            fn(rec)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All recorded records whose kind equals or is prefixed by *kind*."""
+        return [
+            r
+            for r in self.records
+            if r.kind == kind or r.kind.startswith(kind + ".")
+        ]
+
+    def clear(self) -> None:
+        """Drop all recorded records."""
+        self.records.clear()
+
+
+#: Shared do-nothing tracer for components created without one.
+NULL_TRACER = Tracer()

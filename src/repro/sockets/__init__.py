@@ -1,0 +1,15 @@
+"""Unified simulated sockets: one API over kernel TCP and SocketVIA."""
+
+from repro.sockets.api import Address, BaseSocket, ListenerSocket
+from repro.sockets.factory import PROTOCOLS, ProtocolAPI
+from repro.sockets.socketvia import SocketViaSocket, SocketViaStack
+
+__all__ = [
+    "Address",
+    "BaseSocket",
+    "ListenerSocket",
+    "ProtocolAPI",
+    "PROTOCOLS",
+    "SocketViaStack",
+    "SocketViaSocket",
+]

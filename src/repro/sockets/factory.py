@@ -1,0 +1,127 @@
+"""Protocol factory: one string selects the transport.
+
+The paper's applications are "written using the sockets interface" and
+moved between TCP and SocketVIA without code changes; this module is
+the simulation's version of relinking against a different library::
+
+    api = ProtocolAPI(cluster, "socketvia")     # or "tcp", "tcp-fe"
+    listener = api.listen("node01", 5000)
+    sock = api.socket("node00")
+    yield from sock.connect(("node01", 5000))
+
+Stacks are created lazily per host and cached on the
+:class:`~repro.cluster.topology.Cluster`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from repro.cluster.host import Host
+from repro.cluster.topology import Cluster
+from repro.errors import NetworkError
+from repro.net.calibration import get_model
+from repro.net.model import ProtocolCostModel
+from repro.sockets.api import BaseSocket, ListenerSocket
+from repro.sockets.socketvia import SocketViaStack
+from repro.tcp.stack import TcpStack
+
+__all__ = ["ProtocolAPI", "PROTOCOLS"]
+
+#: protocol name -> (stack class, default fabric)
+PROTOCOLS = {
+    "tcp": (TcpStack, "clan"),
+    "socketvia": (SocketViaStack, "clan"),
+    "tcp-fe": (TcpStack, "ethernet"),
+}
+
+
+class ProtocolAPI:
+    """Sockets for one protocol on one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to operate on.
+    protocol:
+        "tcp" (kernel sockets over cLAN LANE), "socketvia" (user-level
+        sockets over VIA), or "tcp-fe" (kernel sockets over Fast
+        Ethernet).
+    fabric:
+        Override the default fabric name.
+    model:
+        Override the calibrated cost model (ablations).
+    stack_options:
+        Extra keyword arguments for the stack constructor (e.g.
+        ``credits=`` for SocketVIA, ``window=`` for TCP).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        protocol: str,
+        fabric: Optional[str] = None,
+        model: Optional[ProtocolCostModel] = None,
+        **stack_options: Any,
+    ) -> None:
+        if protocol not in PROTOCOLS:
+            raise NetworkError(
+                f"unknown protocol {protocol!r}; have {sorted(PROTOCOLS)}"
+            )
+        self.cluster = cluster
+        self.protocol = protocol
+        stack_cls, default_fabric = PROTOCOLS[protocol]
+        self._stack_cls = stack_cls
+        self.fabric_name = fabric or default_fabric
+        base_model_name = "tcp-fe" if protocol == "tcp-fe" else protocol
+        self.model = model or get_model(base_model_name)
+        self._stack_options = stack_options
+        self._stacks: Dict[str, Any] = {}
+
+    # -- host resolution --------------------------------------------------------------
+
+    def _resolve(self, host: Union[str, Host]) -> Host:
+        if isinstance(host, Host):
+            return host
+        return self.cluster.host(host)
+
+    def stack(self, host: Union[str, Host]) -> Any:
+        """The (lazily created) protocol stack on *host*.
+
+        Stacks are shared cluster-wide per (host, protocol, fabric): two
+        ``ProtocolAPI`` objects — e.g. two filter-group instances — use
+        the same kernel/NIC on a host, exactly like two processes on one
+        machine.  Stack options must agree with the first creator's.
+        """
+        h = self._resolve(host)
+        stack = self._stacks.get(h.name)
+        if stack is None:
+            registry = h.services.setdefault("protocol_stacks", {})
+            key = (self.protocol, self.fabric_name)
+            stack = registry.get(key)
+            if stack is None:
+                stack = self._stack_cls(
+                    h,
+                    self.cluster.fabric(self.fabric_name),
+                    model=self.model,
+                    **self._stack_options,
+                )
+                registry[key] = stack
+            self._stacks[h.name] = stack
+        return stack
+
+    # -- sockets -----------------------------------------------------------------------
+
+    def socket(self, host: Union[str, Host]) -> BaseSocket:
+        """A fresh unconnected socket on *host*."""
+        return self.stack(host).socket()
+
+    def listen(self, host: Union[str, Host], port: int) -> ListenerSocket:
+        """Bind a listener at ``host:port``."""
+        return self.stack(host).listen(port)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<ProtocolAPI {self.protocol!r} fabric={self.fabric_name!r} "
+            f"stacks={sorted(self._stacks)}>"
+        )

@@ -1,0 +1,14 @@
+"""Simulated kernel TCP/IP socket stack (the paper's baseline transport)."""
+
+from repro.tcp.packets import CTRL_BYTES, DataUnit, FinPacket, SynAckPacket, SynPacket
+from repro.tcp.stack import TcpSocket, TcpStack
+
+__all__ = [
+    "TcpStack",
+    "TcpSocket",
+    "SynPacket",
+    "SynAckPacket",
+    "DataUnit",
+    "FinPacket",
+    "CTRL_BYTES",
+]

@@ -1,0 +1,74 @@
+"""Wire records exchanged by the simulated kernel TCP stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = ["SynPacket", "SynAckPacket", "DataUnit", "FinPacket", "CTRL_BYTES"]
+
+#: Size charged for control packets (TCP/IP headers, a SYN, a FIN).
+CTRL_BYTES = 40
+
+
+@dataclass
+class SynPacket:
+    """Active-open request: client endpoint asking for ``dst_port``."""
+
+    src_host: str
+    src_ep: int
+    dst_port: int
+
+
+@dataclass
+class SynAckPacket:
+    """Passive-open reply; ``accepted`` False models connection refused."""
+
+    dst_ep: int            # the client endpoint being answered
+    src_host: str
+    src_ep: int            # the server endpoint (valid when accepted)
+    accepted: bool
+    local_port: int = 0    # the server-side port number
+
+
+@dataclass
+class DataUnit:
+    """One transfer unit of an application message.
+
+    A message larger than the stack's ``max_unit`` is sent as several
+    units; ``offset``/``total_size`` let the receiver reassemble, and
+    ``wnd`` is the number of window bytes this unit holds (returned to
+    the sender when the application consumes the message).
+    """
+
+    dst_ep: int
+    msg_id: int
+    kind: str
+    total_size: int
+    offset: int
+    size: int
+    is_last: bool
+    wnd: int
+    payload: Any = None  # carried only on the last unit
+    sent_at: float = 0.0
+
+
+@dataclass
+class FinPacket:
+    """Orderly close: the peer sees end-of-stream after queued data."""
+
+    dst_ep: int
+
+
+@dataclass
+class CtrlDatagram:
+    """Small out-of-band datagram (application-level acknowledgments).
+
+    Charged like any message of its size on both kernels and the wire,
+    but exempt from windowing and reassembly.
+    """
+
+    dst_ep: int
+    kind: str
+    size: int
+    payload: Any = None

@@ -1,0 +1,5 @@
+"""Simulated kernel UDP stack: connectionless, unreliable datagrams."""
+
+from repro.udp.stack import MAX_DATAGRAM, UdpSocket, UdpStack
+
+__all__ = ["UdpStack", "UdpSocket", "MAX_DATAGRAM"]

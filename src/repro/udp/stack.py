@@ -1,0 +1,228 @@
+"""Simulated kernel UDP stack.
+
+The paper's target applications were "developed on kernel-based
+protocols such as TCP/UDP using the sockets interface"; this module
+supplies the UDP half: connectionless, unreliable, unordered datagram
+sockets with the same kernel-path cost structure as the TCP stack
+(syscall + per-segment + per-byte costs on the serialized kernel
+resource, shared with TCP on the same host when both are in use).
+
+Unreliability is explicit and injectable:
+
+* ``loss_rate`` — each datagram is independently dropped with this
+  probability (drawn from the host's seeded RNG stream, so runs are
+  reproducible);
+* ``reorder_window`` — a delivered datagram may be delayed by up to
+  this many seconds (uniform), letting later datagrams overtake it.
+
+Datagrams larger than ``MAX_DATAGRAM`` (64 KB, the IPv4 limit) are
+rejected at the API, like ``EMSGSIZE``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.cluster.host import Host
+from repro.cluster.link import Switch, Transmission
+from repro.errors import AddressError, NetworkError
+from repro.net.calibration import TCP_CLAN_LANE
+from repro.net.demux import demux_for
+from repro.net.message import Message
+from repro.net.model import ProtocolCostModel
+from repro.sim import Resource, Store
+
+__all__ = ["UdpStack", "UdpSocket", "MAX_DATAGRAM"]
+
+#: Largest datagram accepted (the IPv4 65,507-byte payload cap, rounded).
+MAX_DATAGRAM = 64 * 1024
+
+
+class _Datagram:
+    __slots__ = ("dst_port", "src_host", "src_port", "size", "payload", "sent_at")
+
+    def __init__(self, dst_port, src_host, src_port, size, payload, sent_at):
+        self.dst_port = dst_port
+        self.src_host = src_host
+        self.src_port = src_port
+        self.size = size
+        self.payload = payload
+        self.sent_at = sent_at
+
+
+class UdpSocket:
+    """A bound (or ephemeral) datagram socket."""
+
+    def __init__(self, stack: "UdpStack") -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.port: Optional[int] = None
+        self._rx: Store = Store(self.sim)
+        self.closed = False
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+
+    # -- binding -------------------------------------------------------------------
+
+    def bind(self, port: int) -> "UdpSocket":
+        """Claim *port* on this host; returns self for chaining."""
+        self.stack._bind(self, port)
+        return self
+
+    def _ensure_port(self) -> None:
+        if self.port is None:
+            self.stack._bind(self, self.stack._ephemeral())
+
+    # -- I/O --------------------------------------------------------------------------
+
+    def sendto(
+        self, size: int, addr: Tuple[str, int], payload=None
+    ) -> Generator:
+        """Send one datagram to ``(host, port)``.  Fire and forget:
+        completion means the kernel accepted it, nothing more."""
+        if self.closed:
+            raise NetworkError("sendto on closed UDP socket")
+        if size > MAX_DATAGRAM:
+            raise NetworkError(
+                f"datagram of {size} bytes exceeds {MAX_DATAGRAM} (EMSGSIZE)"
+            )
+        self._ensure_port()
+        stack = self.stack
+        yield from stack.kernel.use(stack.model.sender_time(size))
+        dst_host, dst_port = addr
+        stack._transmit(
+            dst_host,
+            size,
+            _Datagram(dst_port, stack.host.name, self.port, size, payload,
+                      self.sim.now),
+        )
+        self.datagrams_sent += 1
+
+    def recvfrom(self) -> Generator:
+        """Next datagram as ``(Message, (src_host, src_port))``."""
+        if self.closed:
+            raise NetworkError("recvfrom on closed UDP socket")
+        self._ensure_port()
+        dgram: _Datagram = yield self._rx.get()
+        self.datagrams_received += 1
+        msg = Message(size=dgram.size, payload=dgram.payload,
+                      kind="datagram", sent_at=dgram.sent_at)
+        return msg, (dgram.src_host, dgram.src_port)
+
+    def _deliver(self, dgram: _Datagram) -> None:
+        ev = self._rx.put(dgram)
+        ev.defused = True
+
+    @property
+    def rx_pending(self) -> int:
+        """Datagrams queued for recvfrom."""
+        return self._rx.size
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            if self.port is not None:
+                self.stack._ports.pop(self.port, None)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<UdpSocket {self.stack.host.name}:{self.port}>"
+
+
+class UdpStack:
+    """Per-host UDP instance bound to one switch fabric."""
+
+    tag = "udp"
+
+    def __init__(
+        self,
+        host: Host,
+        switch: Switch,
+        model: ProtocolCostModel = TCP_CLAN_LANE,
+        loss_rate: float = 0.0,
+        reorder_window: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if reorder_window < 0:
+            raise ValueError("reorder_window must be >= 0")
+        self.host = host
+        self.sim = host.sim
+        self.switch = switch
+        self.model = model
+        self.loss_rate = loss_rate
+        self.reorder_window = reorder_window
+        self.port_obj = switch.port(host.name)
+        # Share the serialized kernel path with TCP when both exist.
+        tcp = host.services.get("protocol_stacks", {}).get(("tcp", switch.name))
+        self.kernel: Resource = (
+            tcp.kernel if tcp is not None
+            else Resource(self.sim, 1, name=f"{host.name}.udp.kernel")
+        )
+        self._ports: Dict[int, UdpSocket] = {}
+        self._eph = itertools.count(52000)
+        self._rx_q: Store = Store(self.sim, name=f"{host.name}.udp.rxq")
+        self.datagrams_dropped = 0
+        demux_for(host, self.port_obj, switch.name).register(self.tag, self._on_tx)
+        self.sim.process(self._rx_daemon(), name=f"{host.name}.udp.rx")
+        host.attach_nic(f"udp.{switch.name}", self)
+
+    # -- sockets -----------------------------------------------------------------------
+
+    def socket(self) -> UdpSocket:
+        """A fresh unbound datagram socket."""
+        return UdpSocket(self)
+
+    def _bind(self, sock: UdpSocket, port: int) -> None:
+        if port in self._ports:
+            raise AddressError(f"{self.host.name}:{port}/udp already bound")
+        if sock.port is not None:
+            raise AddressError("socket is already bound")
+        sock.port = port
+        self._ports[port] = sock
+
+    def _ephemeral(self) -> int:
+        return next(self._eph)
+
+    # -- wire ---------------------------------------------------------------------------
+
+    def _transmit(self, dst_host: str, size: int, dgram: _Datagram) -> None:
+        self.port_obj.uplink.send(
+            Transmission(
+                dst=dst_host,
+                service_time=self.model.wire_unit_service(size),
+                propagation=self.model.l_wire,
+                payload=dgram,
+                size=size,
+                tag=self.tag,
+            )
+        )
+
+    def _on_tx(self, tx: Transmission) -> None:
+        ev = self._rx_q.put(tx)
+        ev.defused = True
+
+    def _rx_daemon(self):
+        rng = self.host.rng.stream("udp.loss")
+        while True:
+            tx: Transmission = yield self._rx_q.get()
+            dgram: _Datagram = tx.payload
+            # Kernel receive processing is paid even for doomed packets.
+            yield from self.kernel.use(self.model.receiver_time(dgram.size))
+            if self.loss_rate and rng.random() < self.loss_rate:
+                self.datagrams_dropped += 1
+                continue
+            sock = self._ports.get(dgram.dst_port)
+            if sock is None or sock.closed:
+                # No listener: silently dropped (no ICMP modeled).
+                self.datagrams_dropped += 1
+                continue
+            if self.reorder_window > 0:
+                delay = float(rng.random() * self.reorder_window)
+                ev = self.sim.timeout(delay, dgram)
+                ev.add_callback(lambda e, s=sock: s._deliver(e.value))
+            else:
+                sock._deliver(dgram)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<UdpStack host={self.host.name!r} ports={sorted(self._ports)}>"

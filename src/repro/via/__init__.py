@@ -1,0 +1,30 @@
+"""Simulated Virtual Interface Architecture provider.
+
+The building blocks mirror the VIPL API surface:
+
+* :class:`~repro.via.memory.MemoryRegistry` — registered memory;
+* :class:`~repro.via.descriptors.Descriptor` /
+  :class:`~repro.via.descriptors.CompletionQueue` — work requests;
+* :class:`~repro.via.vi.VirtualInterface` — connection endpoints with
+  pre-posted receive descriptors;
+* :class:`~repro.via.nic.ViaNic` — the per-host cLAN adapter: DMA,
+  descriptor matching, connection dialog on discriminators.
+"""
+
+from repro.via.descriptors import CompletionQueue, Descriptor
+from repro.via.memory import MemoryHandle, MemoryRegistry
+from repro.via.nic import ViaListener, ViaNic
+from repro.via.vi import VI_CONNECTED, VI_ERROR, VI_IDLE, VirtualInterface
+
+__all__ = [
+    "ViaNic",
+    "ViaListener",
+    "VirtualInterface",
+    "Descriptor",
+    "CompletionQueue",
+    "MemoryHandle",
+    "MemoryRegistry",
+    "VI_IDLE",
+    "VI_CONNECTED",
+    "VI_ERROR",
+]

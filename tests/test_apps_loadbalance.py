@@ -1,0 +1,118 @@
+"""Integration tests for the load-balancing application (Fig 6/10/11)."""
+
+import pytest
+
+from repro.apps import LoadBalanceConfig, paper_block_size, run_loadbalance
+from repro.cluster import RandomSlowdown, StaticSlowdown
+from repro.errors import ExperimentError
+
+MB = 1024 * 1024
+
+
+def small(**kw):
+    defaults = dict(
+        protocol="socketvia",
+        policy="dd",
+        block_bytes=2048,
+        total_bytes=1 * MB,
+        compute_ns_per_byte=90.0,
+    )
+    defaults.update(kw)
+    return LoadBalanceConfig(**defaults)
+
+
+class TestBasics:
+    def test_paper_block_sizes(self):
+        assert paper_block_size("tcp") == 16 * 1024
+        assert paper_block_size("socketvia") == 2 * 1024
+        with pytest.raises(ExperimentError):
+            paper_block_size("quic")
+
+    def test_all_blocks_processed(self):
+        cfg = small()
+        res = run_loadbalance(cfg)
+        assert sum(res.processed_counts) == cfg.n_blocks
+        assert sum(res.sent_counts) == cfg.n_blocks
+
+    def test_block_size_must_divide_total(self):
+        cfg = small(block_bytes=3000)
+        with pytest.raises(ExperimentError):
+            _ = cfg.n_blocks
+
+    def test_homogeneous_dd_balances_evenly(self):
+        res = run_loadbalance(small())
+        lo, hi = min(res.processed_counts), max(res.processed_counts)
+        assert hi - lo <= 0.1 * hi
+
+    def test_rr_is_exactly_even(self):
+        # 513 blocks over 3 workers: exactly 171 each.
+        res = run_loadbalance(small(policy="rr", total_bytes=513 * 2048))
+        assert len(set(res.sent_counts)) == 1
+
+
+class TestHeterogeneity:
+    def test_dd_shifts_work_from_slow_node(self):
+        cfg = small(slow_workers={2: StaticSlowdown(4.0)})
+        res = run_loadbalance(cfg)
+        assert res.processed_counts[2] < min(res.processed_counts[:2]) / 1.5
+
+    def test_rr_does_not_shift_work(self):
+        cfg = small(policy="rr", slow_workers={2: StaticSlowdown(4.0)})
+        res = run_loadbalance(cfg)
+        lo, hi = min(res.sent_counts), max(res.sent_counts)
+        assert hi - lo <= 1
+
+    def test_static_slowdown_stretches_rr_execution(self):
+        base = run_loadbalance(small(policy="rr")).execution_time
+        slow = run_loadbalance(
+            small(policy="rr", slow_workers={2: StaticSlowdown(4.0)})
+        ).execution_time
+        # The slow node handles 1/3 of the work 4x slower.
+        assert slow > 2.0 * base
+
+    def test_dd_mitigates_slowdown_better_than_rr(self):
+        slow = {2: StaticSlowdown(4.0)}
+        rr = run_loadbalance(small(policy="rr", slow_workers=slow)).execution_time
+        dd = run_loadbalance(small(policy="dd", slow_workers=slow)).execution_time
+        assert dd < 0.6 * rr
+
+    def test_reaction_time_positive_and_grows_with_factor(self):
+        reactions = []
+        for factor in (2.0, 8.0):
+            cfg = small(policy="rr", slow_workers={2: StaticSlowdown(factor)})
+            res = run_loadbalance(cfg)
+            reactions.append(res.reaction_time(2))
+        assert 0 < reactions[0] < reactions[1]
+
+    def test_reaction_scales_with_block_size(self):
+        out = {}
+        for block in (2048, 16384):
+            cfg = small(
+                policy="rr",
+                block_bytes=block,
+                slow_workers={2: StaticSlowdown(4.0)},
+            )
+            out[block] = run_loadbalance(cfg).reaction_time(2)
+        assert out[16384] / out[2048] == pytest.approx(8.0, rel=0.25)
+
+    def test_random_slowdown_execution_grows_with_probability(self):
+        times = []
+        for p in (0.1, 0.9):
+            cfg = small(slow_workers={2: RandomSlowdown(8.0, p)})
+            times.append(run_loadbalance(cfg).execution_time)
+        assert times[1] > times[0]
+
+    def test_reaction_time_requires_acks(self):
+        cfg = small(total_bytes=4096, block_bytes=2048, n_workers=2)
+        res = run_loadbalance(cfg)
+        with pytest.raises(ExperimentError):
+            # Worker index out of the ack range / no fast comparison set.
+            res.reaction_time(5)
+
+
+class TestDeterminism:
+    def test_same_config_same_execution_time(self):
+        cfg = small(slow_workers={1: RandomSlowdown(4.0, 0.5)})
+        a = run_loadbalance(cfg).execution_time
+        b = run_loadbalance(cfg).execution_time
+        assert a == b

@@ -1,0 +1,117 @@
+"""Unit + property tests for the interactive-session model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dataset import ImageDataset
+from repro.apps.session import SessionModel, session_workload
+from repro.errors import WorkloadError
+
+
+def make_model(seed=0, **kw):
+    ds = ImageDataset(2048, 2048, 16, 16)  # 128x128 blocks
+    defaults = dict(view_w=512, view_h=512, pan_step=64)
+    defaults.update(kw)
+    return ds, SessionModel(ds, rng=np.random.default_rng(seed), **defaults)
+
+
+class TestSessionModel:
+    def test_reset_fetches_full_viewport(self):
+        ds, m = make_model()
+        step = m.reset()
+        assert step.action == "jump"
+        assert set(step.new_blocks) == set(ds.blocks_for_region(step.viewport))
+        # 512x512 view over 128-pixel blocks: at least a 4x4 tile.
+        assert len(step.new_blocks) >= 16
+
+    def test_pan_fetches_only_new_blocks(self):
+        ds, m = make_model(p_zoom=0.0, p_jump=0.0)
+        m.reset()
+        for _ in range(20):
+            step = m.step()
+            assert step.action == "pan"
+            # New blocks are in the viewport and were not resident.
+            in_view = set(ds.blocks_for_region(step.viewport))
+            assert set(step.new_blocks) <= in_view
+            # Small pans fetch far less than the full viewport.
+            assert len(step.new_blocks) < len(in_view)
+
+    def test_zoom_refetches_whole_viewport(self):
+        ds, m = make_model(p_zoom=1.0, p_jump=0.0)
+        m.reset()
+        step = m.step()
+        assert step.action == "zoom"
+        assert set(step.new_blocks) == set(ds.blocks_for_region(step.viewport))
+
+    def test_jump_refetches_everything(self):
+        ds, m = make_model(p_zoom=0.0, p_jump=1.0)
+        m.reset()
+        step = m.step()
+        assert step.action == "jump"
+        assert set(step.new_blocks) == step.resident
+
+    def test_trace_is_deterministic_per_seed(self):
+        _, m1 = make_model(seed=5)
+        _, m2 = make_model(seed=5)
+        t1 = m1.trace(30)
+        t2 = m2.trace(30)
+        assert [(s.action, s.new_blocks) for s in t1] == \
+            [(s.action, s.new_blocks) for s in t2]
+
+    def test_validation(self):
+        ds = ImageDataset(256, 256, 4, 4)
+        with pytest.raises(WorkloadError):
+            SessionModel(ds, view_w=512, view_h=100)
+        with pytest.raises(WorkloadError):
+            SessionModel(ds, view_w=64, view_h=64, pan_step=0)
+        with pytest.raises(WorkloadError):
+            SessionModel(ds, view_w=64, view_h=64, p_zoom=0.8, p_jump=0.5)
+
+    @given(st.integers(0, 2**16), st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_viewport_always_inside_slide(self, seed, n_steps):
+        ds, m = make_model(seed=seed, p_zoom=0.2, p_jump=0.1)
+        for step in m.trace(min(n_steps, 60)):
+            v = step.viewport
+            assert 0 <= v.x0 < v.x1 <= ds.width
+            assert 0 <= v.y0 < v.y1 <= ds.height
+            assert step.resident == set(ds.blocks_for_region(v))
+
+
+class TestSessionWorkload:
+    def test_no_op_pans_dropped(self):
+        ds, m = make_model(seed=1, pan_step=4, p_zoom=0.0, p_jump=0.0)
+        steps = m.trace(40)
+        wl = session_workload(steps)
+        fetching = [s for s in steps if s.new_blocks]
+        assert len(wl) == len(fetching)
+
+    def test_kinds_mapped(self):
+        ds, m = make_model(seed=2, p_zoom=0.3, p_jump=0.2)
+        wl = session_workload(m.trace(50))
+        kinds = {tq.query.kind for tq in wl}
+        assert kinds <= {"partial", "zoom", "complete"}
+        assert "complete" in kinds  # the reset at least
+
+    def test_runs_through_pipeline(self):
+        """End-to-end: a short session through the viz server."""
+        from repro.apps import VizServerConfig
+        from repro.apps.vizserver import run_vizserver
+
+        cfg = VizServerConfig(
+            protocol="socketvia", block_bytes=16 * 1024,
+            image_bytes=1 << 20, closed_loop=True,
+        )
+        ds = cfg.dataset()
+        model = SessionModel(
+            ds, view_w=ds.block_w * 2, view_h=ds.block_h * 2,
+            pan_step=ds.block_w // 2, rng=np.random.default_rng(3),
+        )
+        wl = session_workload(model.trace(15))
+        res = run_vizserver(cfg, wl)
+        assert res.latency("any").count == len(wl)
+        # Pans (few blocks) are far cheaper than the initial jump.
+        if res.metrics.get("latency.partial"):
+            assert res.latency("partial").mean < res.latency("complete").mean

@@ -1,0 +1,142 @@
+"""Integration tests for the visualization-server application.
+
+Scaled-down images (1 MB) keep the suite fast; the full-scale paper
+workloads live in benchmarks/.
+"""
+
+import pytest
+
+from repro.apps import (
+    TimedQuery,
+    VizServerConfig,
+    Workload,
+    complete_update,
+    measure_max_update_rate,
+    mixed_query_workload,
+    partial_update,
+    run_vizserver,
+    steady_rate_workload,
+)
+from repro.errors import ExperimentError
+
+import numpy as np
+
+MB = 1024 * 1024
+
+
+def small_config(**kw):
+    defaults = dict(
+        protocol="socketvia",
+        block_bytes=16 * 1024,
+        image_bytes=1 * MB,
+    )
+    defaults.update(kw)
+    return VizServerConfig(**defaults)
+
+
+class TestBasicRuns:
+    @pytest.mark.parametrize("protocol", ["tcp", "socketvia"])
+    def test_single_complete_update(self, protocol):
+        cfg = small_config(protocol=protocol, closed_loop=True)
+        ds = cfg.dataset()
+        wl = Workload([TimedQuery(0.0, complete_update(ds))])
+        res = run_vizserver(cfg, wl)
+        assert res.latency("complete").count == 1
+        assert res.latency("complete").mean > 0
+
+    def test_partial_update_much_faster_than_complete(self):
+        cfg = small_config(closed_loop=True)
+        ds = cfg.dataset()
+        wl = Workload([
+            TimedQuery(0.0, complete_update(ds)),
+            TimedQuery(0.0, partial_update(ds)),
+        ])
+        res = run_vizserver(cfg, wl)
+        assert res.latency("partial").mean < res.latency("complete").mean / 10
+
+    def test_paced_workload_meets_modest_rate(self):
+        cfg = small_config()
+        wl = steady_rate_workload(cfg.dataset(), rate=10.0, duration=0.55)
+        res = run_vizserver(cfg, wl)
+        assert res.achieved_update_rate == pytest.approx(10.0, rel=0.05)
+
+    def test_saturation_rate_exceeds_paced_rate(self):
+        cfg = small_config()
+        sat = measure_max_update_rate(cfg, frames=3)
+        assert sat > 10.0
+
+    def test_socketvia_faster_than_tcp_for_partials(self):
+        latencies = {}
+        for proto in ("tcp", "socketvia"):
+            cfg = small_config(protocol=proto, block_bytes=2048, closed_loop=True)
+            ds = cfg.dataset()
+            wl = Workload([TimedQuery(0.0, partial_update(ds))] * 3)
+            res = run_vizserver(cfg, wl)
+            latencies[proto] = res.latency("partial").mean
+        assert latencies["socketvia"] < latencies["tcp"] / 2
+
+    def test_computation_increases_latency(self):
+        results = {}
+        for comp in (0.0, 18.0):
+            cfg = small_config(compute_ns_per_byte=comp, closed_loop=True)
+            ds = cfg.dataset()
+            wl = Workload([TimedQuery(0.0, complete_update(ds))])
+            results[comp] = run_vizserver(cfg, wl).latency("complete").mean
+        assert results[18.0] > results[0.0]
+
+    def test_mixed_workload_records_both_kinds(self):
+        cfg = small_config(closed_loop=True)
+        rng = np.random.default_rng(5)
+        wl = mixed_query_workload(cfg.dataset(), 6, 0.5, rng, exact=True)
+        res = run_vizserver(cfg, wl)
+        assert res.latency("complete").count == 3
+        assert res.latency("zoom").count == 3
+        assert res.latency("any").count == 6
+
+
+class TestResultObject:
+    def test_missing_kind_raises(self):
+        cfg = small_config(closed_loop=True)
+        ds = cfg.dataset()
+        wl = Workload([TimedQuery(0.0, complete_update(ds))])
+        res = run_vizserver(cfg, wl)
+        with pytest.raises(ExperimentError):
+            res.latency("zoom")
+
+    def test_rate_requires_two_completions(self):
+        cfg = small_config(closed_loop=True)
+        ds = cfg.dataset()
+        wl = Workload([TimedQuery(0.0, complete_update(ds))])
+        res = run_vizserver(cfg, wl)
+        with pytest.raises(ExperimentError):
+            _ = res.achieved_update_rate
+
+    def test_elapsed_positive(self):
+        cfg = small_config(closed_loop=True)
+        ds = cfg.dataset()
+        wl = Workload([TimedQuery(0.0, complete_update(ds))])
+        assert run_vizserver(cfg, wl).elapsed > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        def once():
+            cfg = small_config(closed_loop=True, seed=42)
+            rng = np.random.default_rng(1)
+            wl = mixed_query_workload(cfg.dataset(), 5, 0.4, rng, exact=True)
+            res = run_vizserver(cfg, wl)
+            return (res.latency("any").mean, res.elapsed)
+
+        assert once() == once()
+
+
+class TestValidation:
+    def test_too_few_hosts_rejected(self):
+        from repro.apps.vizserver import VizServerApp
+        from repro.cluster import Cluster
+
+        cluster = Cluster()
+        cluster.add_fabric("clan")
+        cluster.add_hosts("node", 4)  # needs 10 for 3 copies
+        with pytest.raises(ExperimentError):
+            VizServerApp(cluster, small_config())

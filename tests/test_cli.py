@@ -1,0 +1,48 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "figure" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fig_id in ("4a", "7b", "10", "11"):
+            assert fig_id in out
+
+    def test_calibration_command(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "socketvia" in out and "tcp" in out
+        assert "9.51" in out  # the calibrated SocketVIA latency
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "99z"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestFigureExecution:
+    def test_quick_fig10_runs_and_prints(self, capsys):
+        assert main(["figure", "10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "ratio_tcp_over_sv" in out
+
+    def test_fig_prefix_accepted(self, capsys):
+        assert main(["figure", "fig10", "--quick"]) == 0
+        assert "fig10" in capsys.readouterr().out
+
+    def test_save_writes_table(self, tmp_path, capsys):
+        assert main(["figure", "10", "--quick", "--save", str(tmp_path)]) == 0
+        assert (tmp_path / "fig10.txt").exists()

@@ -1,0 +1,231 @@
+"""Failure-injection tests: partial teardown, crashes, extreme inputs.
+
+A production runtime spends most of its subtlety on the unhappy paths;
+these tests pin them down: receivers vanishing mid-stream, listeners
+closing with connects queued, filters crashing mid-UOW, interrupts
+landing in blocking calls.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, StaticSlowdown
+from repro.datacutter import DataCutterRuntime, Filter, FilterGroup
+from repro.errors import ConnectionRefused, SocketClosedError
+from repro.sim import Interrupt
+from repro.sockets import ProtocolAPI
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(seed=13)
+    c.add_fabric("clan")
+    c.add_hosts("node", 4)
+    return c
+
+
+class TestReceiverVanishesMidStream:
+    @pytest.mark.parametrize("protocol", ["tcp", "socketvia"])
+    def test_sender_drains_after_peer_close(self, cluster, protocol):
+        """The peer closes after one message; a sender pushing far more
+        than the flow-control window must complete, not deadlock."""
+        api = ProtocolAPI(cluster, protocol)
+        sim = cluster.sim
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            yield from sock.recv_message()
+            sock.close()
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            for _ in range(8):
+                yield from sock.send_message(200_000)
+            return "drained"
+
+        sim.process(server())
+        cli = sim.process(client())
+        assert sim.run(cli) == "drained"
+
+    def test_tcp_recv_on_locally_closed_socket(self, cluster):
+        api = ProtocolAPI(cluster, "tcp")
+        sock = api.socket("node00")
+        sock.close()
+        with pytest.raises(SocketClosedError):
+            next(sock.recv_message())
+
+
+class TestListenerTeardown:
+    def test_connect_after_listener_close_refused(self, cluster):
+        api = ProtocolAPI(cluster, "tcp")
+        sim = cluster.sim
+        listener = api.listen("node01", 80)
+        listener.close()
+
+        def client():
+            sock = api.socket("node00")
+            try:
+                yield from sock.connect(("node01", 80))
+            except ConnectionRefused:
+                return "refused"
+
+        p = sim.process(client())
+        assert sim.run(p) == "refused"
+
+    def test_accept_on_closed_listener_raises(self, cluster):
+        api = ProtocolAPI(cluster, "tcp")
+        listener = api.listen("node01", 80)
+        listener.close()
+        with pytest.raises(SocketClosedError):
+            next(listener.accept())
+
+
+class TestFilterCrash:
+    def test_filter_exception_surfaces_from_run(self, cluster):
+        class Bomb(Filter):
+            def process(self, ctx):
+                yield ctx.sim.timeout(0.001)
+                raise ValueError("filter bug")
+
+        g = FilterGroup("crash")
+        g.add_filter("bomb", Bomb)
+        runtime = DataCutterRuntime(cluster)
+        app = runtime.instantiate(g, g.place({"bomb": ["node00"]}))
+
+        def main():
+            yield from app.start()
+            yield from app.run_uow()
+
+        cluster.sim.process(main())
+        with pytest.raises(ValueError, match="filter bug"):
+            cluster.sim.run()
+
+    def test_crash_in_one_copy_fails_the_uow_not_the_kernel(self, cluster):
+        """Other copies keep their state; the failure is attributable."""
+
+        class MaybeBomb(Filter):
+            def process(self, ctx):
+                yield ctx.sim.timeout(0.001)
+                if ctx.copy_index == 1:
+                    raise RuntimeError("copy 1 died")
+
+        g = FilterGroup("partial-crash")
+        g.add_filter("w", MaybeBomb, copies=3)
+        runtime = DataCutterRuntime(cluster)
+        app = runtime.instantiate(
+            g, g.place({"w": ["node00", "node01", "node02"]})
+        )
+
+        def main():
+            yield from app.start()
+            try:
+                yield from app.run_uow()
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = cluster.sim.process(main())
+        assert cluster.sim.run(p) == "copy 1 died"
+
+
+class TestInterrupts:
+    def test_interrupt_while_blocked_on_recv(self, cluster):
+        api = ProtocolAPI(cluster, "tcp")
+        sim = cluster.sim
+        api.listen("node01", 80)
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            try:
+                yield from sock.recv_message()
+            except Interrupt as i:
+                return ("interrupted", i.cause)
+
+        p = sim.process(client())
+
+        def killer():
+            yield sim.timeout(0.01)
+            p.interrupt("shutdown")
+
+        sim.process(killer())
+        assert sim.run(p) == ("interrupted", "shutdown")
+
+    def test_interrupt_while_blocked_on_accept(self, cluster):
+        api = ProtocolAPI(cluster, "tcp")
+        sim = cluster.sim
+        listener = api.listen("node01", 80)
+
+        def acceptor():
+            try:
+                yield from listener.accept()
+            except Interrupt:
+                return "stopped"
+
+        p = sim.process(acceptor())
+
+        def killer():
+            yield sim.timeout(0.01)
+            p.interrupt()
+
+        sim.process(killer())
+        assert sim.run(p) == "stopped"
+
+
+class TestExtremeInputs:
+    def test_zero_byte_message_storm(self, cluster):
+        """Hundreds of empty messages (end-of-work markers in disguise)
+        must flow without dividing by zero anywhere."""
+        api = ProtocolAPI(cluster, "socketvia")
+        sim = cluster.sim
+        n = 300
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            for _ in range(n):
+                msg = yield from sock.recv_message()
+                assert msg.size == 0
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            for _ in range(n):
+                yield from sock.send_message(0)
+
+        srv = sim.process(server())
+        sim.process(client())
+        sim.run(srv)
+
+    def test_extreme_slowdown_factor(self, cluster):
+        host = cluster.add_host("glacial", slowdown=StaticSlowdown(1e6))
+        done = []
+
+        def job():
+            yield from host.compute(1e-6)
+            done.append(cluster.sim.now)
+
+        cluster.sim.process(job())
+        cluster.sim.run()
+        assert done[0] == pytest.approx(1.0)
+
+    def test_giant_single_message(self, cluster):
+        """A 64 MB message (4x the paper's image) through SocketVIA."""
+        api = ProtocolAPI(cluster, "socketvia")
+        sim = cluster.sim
+        size = 64 * 1024 * 1024
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            msg = yield from sock.recv_message()
+            return msg.size
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_message(size)
+
+        srv = sim.process(server())
+        sim.process(client())
+        assert sim.run(srv) == size

@@ -1,0 +1,120 @@
+"""Unit tests for the Virtual Microscope NumPy kernels."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dataset import ImageDataset, Region
+from repro.apps.microscope import (
+    block_pixels,
+    clip,
+    compose,
+    make_test_slide,
+    render_query,
+    subsample,
+)
+from repro.errors import WorkloadError
+
+
+@pytest.fixture
+def dataset():
+    return ImageDataset(256, 256, 4, 4)
+
+
+@pytest.fixture
+def slide(dataset):
+    return make_test_slide(dataset, seed=1)
+
+
+class TestSlide:
+    def test_shape_and_dtype(self, dataset, slide):
+        assert slide.shape == (256, 256)
+        assert slide.dtype == np.uint8
+
+    def test_deterministic_per_seed(self, dataset):
+        a = make_test_slide(dataset, seed=5)
+        b = make_test_slide(dataset, seed=5)
+        c = make_test_slide(dataset, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_block_pixels_is_view(self, dataset, slide):
+        tile = block_pixels(slide, dataset, 5)
+        assert tile.shape == (64, 64)
+        assert tile.base is slide
+
+
+class TestClip:
+    def test_full_overlap_returns_whole_tile(self, dataset, slide):
+        tile_region = dataset.block_region(0)
+        tile = block_pixels(slide, dataset, 0)
+        out, region = clip(tile, tile_region, dataset.full_region())
+        assert np.array_equal(out, tile)
+        assert region == tile_region
+
+    def test_partial_overlap(self, dataset, slide):
+        tile_region = dataset.block_region(0)  # [0,64)x[0,64)
+        tile = block_pixels(slide, dataset, 0)
+        query = Region(32, 16, 200, 200)
+        out, region = clip(tile, tile_region, query)
+        assert region == Region(32, 16, 64, 64)
+        assert np.array_equal(out, slide[16:64, 32:64])
+
+    def test_disjoint_raises(self, dataset, slide):
+        tile_region = dataset.block_region(0)
+        tile = block_pixels(slide, dataset, 0)
+        with pytest.raises(WorkloadError):
+            clip(tile, tile_region, Region(128, 128, 192, 192))
+
+
+class TestSubsample:
+    def test_factor_one_is_identity(self):
+        x = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        assert subsample(x, 1) is x
+
+    def test_block_averaging(self):
+        x = np.array([[0, 2], [4, 6]], dtype=np.uint8)
+        out = subsample(x, 2)
+        assert out.shape == (1, 1)
+        assert out[0, 0] == 3
+
+    def test_constant_image_unchanged(self):
+        x = np.full((16, 16), 99, dtype=np.uint8)
+        assert (subsample(x, 4) == 99).all()
+
+    def test_indivisible_raises(self):
+        with pytest.raises(WorkloadError):
+            subsample(np.zeros((5, 4), dtype=np.uint8), 2)
+
+    def test_invalid_factor(self):
+        with pytest.raises(WorkloadError):
+            subsample(np.zeros((4, 4), dtype=np.uint8), 0)
+
+
+class TestRenderQuery:
+    def test_full_render_factor1_equals_slide(self, dataset, slide):
+        out = render_query(slide, dataset, dataset.full_region(), factor=1)
+        assert np.array_equal(out, slide)
+
+    def test_zoom_render_equals_crop(self, dataset, slide):
+        region = Region(30, 40, 190, 200)
+        out = render_query(slide, dataset, region, factor=1)
+        assert np.array_equal(out, slide[40:200, 30:190])
+
+    def test_subsampled_render_matches_direct_subsample(self, dataset, slide):
+        # Block-aligned region, so the distributed path has no edge
+        # fragments and must equal subsampling the crop directly.
+        region = Region(0, 0, 128, 128)
+        out = render_query(slide, dataset, region, factor=4)
+        expected = subsample(slide[0:128, 0:128].copy(), 4)
+        assert np.array_equal(out, expected)
+
+    def test_compose_places_fragment(self):
+        canvas = np.zeros((8, 8), dtype=np.uint8)
+        frag = np.full((2, 2), 7, dtype=np.uint8)
+        compose(canvas, frag, Region(4, 4, 8, 8), Region(0, 0, 16, 16), factor=2)
+        assert canvas[2, 2] == 7 and canvas[3, 3] == 7
+        assert canvas.sum() == 4 * 7
+
+    def test_indivisible_region_raises(self, dataset, slide):
+        with pytest.raises(WorkloadError):
+            render_query(slide, dataset, Region(0, 0, 130, 128), factor=4)

@@ -1,0 +1,79 @@
+"""Tests validating the analytic cost model against exact segment-level
+flow-shop simulation (repro.net.segsim)."""
+
+import numpy as np
+import pytest
+
+from repro.net import SOCKETVIA_CLAN, TCP_CLAN_LANE, VIA_CLAN
+from repro.net.segsim import (
+    flow_shop_completion_times,
+    segment_message_latency,
+    segment_stream_time,
+)
+
+MODELS = [TCP_CLAN_LANE, SOCKETVIA_CLAN, VIA_CLAN]
+
+
+class TestFlowShop:
+    def test_single_job_single_machine(self):
+        c = flow_shop_completion_times([[5.0]])
+        assert c[0, 0] == 5.0
+
+    def test_known_two_by_two(self):
+        # job0: (2, 3); job1: (1, 4)
+        c = flow_shop_completion_times([[2, 3], [1, 4]])
+        # job0: m0 done 2, m1 done 5; job1: m0 done 3, m1 max(5,3)+4=9.
+        assert c[0, 1] == 5
+        assert c[1, 1] == 9
+
+    def test_makespan_at_least_critical_path(self):
+        rng = np.random.default_rng(0)
+        t = rng.random((6, 3))
+        c = flow_shop_completion_times(t)
+        assert c[-1, -1] >= t[:, 0].sum()  # machine-0 lower bound
+        assert c[-1, -1] >= t[0].sum()     # first-job lower bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flow_shop_completion_times([])
+
+
+class TestAnalyticAgreement:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("nbytes", [4, 1024, 4096, 16384, 65536, 1 << 20])
+    def test_message_latency_matches_flow_shop(self, model, nbytes):
+        """The closed-form latency equals the exact flow-shop makespan
+        (for these models one stage dominates, so the recurrence
+        collapses to the first-path + bottleneck-slots formula)."""
+        exact = segment_message_latency(model, nbytes)
+        analytic = model.message_latency(nbytes)
+        slot = max(
+            model.o_send_seg + model.c_send * model.mtu,
+            model.o_wire_seg + model.g_wire * model.mtu,
+            model.o_recv_seg + model.c_recv * model.mtu,
+        )
+        # Agreement within one bottleneck slot, and never below exact
+        # by more than float noise.
+        assert analytic <= exact + slot + 1e-12
+        assert analytic >= exact - slot - 1e-12
+        # For single-segment messages they are identical.
+        if model.n_segments(nbytes) == 1:
+            assert analytic == pytest.approx(exact, rel=1e-12)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("nbytes", [2048, 16384, 65536])
+    def test_streaming_time_matches_flow_shop(self, model, nbytes):
+        """The steady-state per-message bottleneck formula agrees with
+        exact streaming to within the per-message fixed costs."""
+        _, per_msg = segment_stream_time(model, nbytes, n_messages=12)
+        analytic = model.streaming_message_time(nbytes)
+        fixed = model.o_send_msg + model.o_recv_msg
+        assert per_msg == pytest.approx(analytic, abs=fixed + 1e-12)
+
+    def test_stream_needs_two_messages(self):
+        with pytest.raises(ValueError):
+            segment_stream_time(TCP_CLAN_LANE, 1024, 1)
+
+    def test_stream_total_exceeds_single_message(self):
+        total, _ = segment_stream_time(TCP_CLAN_LANE, 4096, 8)
+        assert total > segment_message_latency(TCP_CLAN_LANE, 4096)

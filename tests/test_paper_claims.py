@@ -1,0 +1,122 @@
+"""Integration guards for the paper's headline claims, at test scale.
+
+The benchmarks regenerate full figures (~minutes); these tests pin the
+same qualitative claims in seconds so a regression in any layer —
+kernel, transports, runtime, apps — trips CI before it distorts a
+figure.  Each test names the claim it guards.
+"""
+
+import pytest
+
+from repro.apps import (
+    LoadBalanceConfig,
+    PipelinePlan,
+    TimedQuery,
+    VizServerConfig,
+    Workload,
+    complete_update,
+    partial_update,
+    plan_block_for_latency,
+    plan_block_for_rate,
+    run_loadbalance,
+    run_vizserver,
+)
+from repro.bench.microbench import ping_pong_latency, streaming_bandwidth
+from repro.cluster import StaticSlowdown
+from repro.net import get_model
+
+MB = 1024 * 1024
+
+
+class TestSection51_MicroBenchmarks:
+    def test_claim_5x_latency_gap(self):
+        """'nearly a factor of five improvement over the latency given
+        by the traditional sockets layer over TCP/IP'"""
+        tcp = ping_pong_latency("tcp", 4, iterations=4)
+        sv = ping_pong_latency("socketvia", 4, iterations=4)
+        assert tcp / sv == pytest.approx(5.0, rel=0.10)
+
+    def test_claim_50pct_bandwidth_gap(self):
+        """'SocketVIA achieves a peak bandwidth of 763Mbps ... compared
+        to 510Mbps given by the traditional TCP implementation; an
+        improvement of nearly 50%'"""
+        tcp = streaming_bandwidth("tcp", 65536, n_messages=24)
+        sv = streaming_bandwidth("socketvia", 65536, n_messages=24)
+        assert sv / tcp == pytest.approx(1.5, rel=0.10)
+
+
+class TestSection52_Guarantees:
+    def test_claim_repartitioning_multiplies_the_win(self):
+        """Figure 7's mechanism at 2 MB scale: SocketVIA at TCP's block
+        beats TCP; SocketVIA at its own (smaller) block beats both."""
+        image = 2 * MB
+        rate = 20.0  # scaled-up rate for the scaled-down image
+        results = {}
+        tcp_plan = PipelinePlan(model=get_model("tcp"), image_bytes=image)
+        sv_plan = PipelinePlan(model=get_model("socketvia"), image_bytes=image)
+        b_tcp = plan_block_for_rate(tcp_plan, rate)
+        b_sv = plan_block_for_rate(sv_plan, rate)
+        assert b_sv < b_tcp
+        for name, proto, block in (
+            ("tcp", "tcp", b_tcp),
+            ("sv", "socketvia", b_tcp),
+            ("sv_dr", "socketvia", b_sv),
+        ):
+            cfg = VizServerConfig(protocol=proto, block_bytes=block,
+                                  image_bytes=image, closed_loop=True)
+            ds = cfg.dataset()
+            wl = Workload([
+                TimedQuery(0.0, complete_update(ds)),
+                TimedQuery(0.0, partial_update(ds)),
+                TimedQuery(0.0, partial_update(ds)),
+            ])
+            res = run_vizserver(cfg, wl)
+            results[name] = res.latency("partial").mean
+        assert results["sv"] < results["tcp"]
+        assert results["sv_dr"] < results["sv"]
+        assert results["tcp"] / results["sv_dr"] > 4.0
+
+    def test_claim_tcp_drops_out_of_tight_latency_guarantees(self):
+        """Figure 8: 'as the latency constraint becomes as low as
+        100 us, TCP drops out' while SocketVIA still has a block size."""
+        tcp = PipelinePlan(model=get_model("tcp"))
+        sv = PipelinePlan(model=get_model("socketvia"))
+        assert plan_block_for_latency(tcp, 100e-6) is None
+        assert plan_block_for_latency(sv, 100e-6) is not None
+
+
+class TestSection523_Heterogeneity:
+    def _lb(self, protocol, policy, factor):
+        return run_loadbalance(LoadBalanceConfig(
+            protocol=protocol,
+            policy=policy,
+            block_bytes=16 * 1024 if protocol == "tcp" else 2048,
+            total_bytes=2 * MB,
+            compute_ns_per_byte=90.0,
+            slow_workers={2: StaticSlowdown(factor)},
+        ))
+
+    def test_claim_rr_reaction_ratio_is_the_block_ratio(self):
+        """Figure 10: 'the reaction time of the load balancer decreases
+        by a factor of 8 compared to TCP' — the 16 KB / 2 KB ratio."""
+        tcp = self._lb("tcp", "rr", 4.0).reaction_time(2)
+        sv = self._lb("socketvia", "rr", 4.0).reaction_time(2)
+        assert tcp / sv == pytest.approx(8.0, rel=0.20)
+
+    def test_claim_dd_equalizes_the_transports(self):
+        """Figure 11: 'application performance using TCP is close to
+        that of socketVIA' under demand-driven scheduling."""
+        tcp = self._lb("tcp", "dd", 4.0).execution_time
+        sv = self._lb("socketvia", "dd", 4.0).execution_time
+        assert tcp / sv < 1.25
+
+    def test_claim_guarantees_still_need_the_fast_transport(self):
+        """The paper's closing argument: DD fixes throughput but not
+        latency — TCP's per-chunk fetch stays ~6x SocketVIA's even in
+        the equalized configuration."""
+        tcp_plan = PipelinePlan(model=get_model("tcp"))
+        sv_plan = PipelinePlan(model=get_model("socketvia"))
+        from repro.apps import chunk_fetch_latency
+
+        ratio = chunk_fetch_latency(tcp_plan, 2048) / chunk_fetch_latency(sv_plan, 2048)
+        assert ratio > 3.0

@@ -1,0 +1,81 @@
+"""Cross-validation: the analytic experiment planner vs the measured DES.
+
+The Figure 7/8 experiments trust `repro.apps.planning` to choose block
+sizes; these tests keep the planner honest by comparing its predictions
+with measured pipeline behavior at reduced scale.  Planning errors
+should fail here before they distort a figure.
+"""
+
+import pytest
+
+from repro.apps import (
+    PipelinePlan,
+    TimedQuery,
+    VizServerConfig,
+    Workload,
+    chunk_fetch_latency,
+    measure_max_update_rate,
+    partial_update,
+    run_vizserver,
+    sustainable_rate,
+)
+from repro.net import get_model
+
+MB = 1024 * 1024
+
+
+class TestRatePrediction:
+    @pytest.mark.parametrize("protocol,block", [
+        ("tcp", 16 * 1024),
+        ("tcp", 65536),
+        ("socketvia", 2048),
+        ("socketvia", 16 * 1024),
+    ])
+    def test_predicted_rate_within_30pct_of_measured(self, protocol, block):
+        image = 2 * MB  # reduced scale; rates scale inversely with size
+        plan = PipelinePlan(model=get_model(protocol), image_bytes=image)
+        predicted = sustainable_rate(plan, block)
+        cfg = VizServerConfig(
+            protocol=protocol, block_bytes=block, image_bytes=image
+        )
+        measured = measure_max_update_rate(cfg, frames=4)
+        assert measured == pytest.approx(predicted, rel=0.30)
+
+    def test_prediction_is_not_systematically_optimistic(self):
+        """Across configurations, the planner must not promise more
+        than ~15 % above what the DES delivers (missed guarantees)."""
+        image = 2 * MB
+        worst = 0.0
+        for protocol, block in (("tcp", 16384), ("socketvia", 4096)):
+            plan = PipelinePlan(model=get_model(protocol), image_bytes=image)
+            predicted = sustainable_rate(plan, block)
+            cfg = VizServerConfig(
+                protocol=protocol, block_bytes=block, image_bytes=image
+            )
+            measured = measure_max_update_rate(cfg, frames=4)
+            worst = max(worst, predicted / measured)
+        assert worst < 1.15
+
+
+class TestLatencyPrediction:
+    @pytest.mark.parametrize("protocol,block", [
+        ("tcp", 2048),
+        ("tcp", 16 * 1024),
+        ("socketvia", 2048),
+        ("socketvia", 8192),
+    ])
+    def test_unloaded_partial_latency_vs_chunk_fetch(self, protocol, block):
+        """On an idle pipeline, the measured partial-update latency is
+        ~3 hops of the planner's single-chunk fetch latency (plus
+        runtime overheads it deliberately ignores)."""
+        cfg = VizServerConfig(
+            protocol=protocol, block_bytes=block, image_bytes=1 * MB,
+            closed_loop=True,
+        )
+        ds = cfg.dataset()
+        wl = Workload([TimedQuery(0.0, partial_update(ds))] * 4)
+        res = run_vizserver(cfg, wl)
+        measured = res.latency("partial").mean
+        plan = PipelinePlan(model=get_model(protocol), image_bytes=1 * MB)
+        per_hop = chunk_fetch_latency(plan, block)
+        assert 2.5 * per_hop < measured < 4.5 * per_hop

@@ -1,0 +1,168 @@
+"""Property-based tests for domain invariants: cost models, datasets,
+schedulers, transports."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dataset import ImageDataset, Region
+from repro.datacutter.scheduling import make_scheduler
+from repro.net import SOCKETVIA_CLAN, TCP_CLAN_LANE, VIA_CLAN
+from repro.sim import Simulator
+
+MODELS = [TCP_CLAN_LANE, SOCKETVIA_CLAN, VIA_CLAN]
+
+sizes = st.integers(min_value=0, max_value=1 << 22)
+positive_sizes = st.integers(min_value=1, max_value=1 << 22)
+
+
+class TestCostModelProperties:
+    @given(sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_times_nonnegative_and_finite(self, nbytes):
+        for m in MODELS:
+            for fn in (m.sender_time, m.receiver_time, m.wire_time,
+                       m.message_latency, m.store_and_forward_time,
+                       m.streaming_message_time, m.wire_unit_service):
+                v = fn(nbytes)
+                assert v >= 0 and math.isfinite(v)
+
+    @given(positive_sizes, positive_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_stage_times_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        for m in MODELS:
+            assert m.sender_time(lo) <= m.sender_time(hi)
+            assert m.receiver_time(lo) <= m.receiver_time(hi)
+            assert m.wire_time(lo) <= m.wire_time(hi)
+            assert m.message_latency(lo) <= m.message_latency(hi)
+
+    @given(positive_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_latency_views_ordering(self, nbytes):
+        """Pipelined latency never exceeds store-and-forward; streaming
+        per-message time never exceeds either."""
+        for m in MODELS:
+            assert m.message_latency(nbytes) <= m.store_and_forward_time(nbytes) + 1e-15
+            assert m.streaming_message_time(nbytes) <= m.store_and_forward_time(nbytes) + 1e-15
+
+    @given(positive_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_bandwidth_never_exceeds_peak(self, nbytes):
+        for m in MODELS:
+            assert m.streaming_bandwidth(nbytes) <= m.peak_bandwidth * (1 + 1e-9)
+
+    @given(positive_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_segmentation_partition(self, nbytes):
+        for m in MODELS:
+            n_full, full, last = m.segment_sizes(nbytes)
+            assert n_full * full + last == nbytes or (nbytes == 0 and last == 0)
+            assert 0 <= last <= m.mtu
+            assert full == m.mtu
+
+
+class TestDatasetProperties:
+    grids = st.sampled_from([(1024, 1024, 4, 4), (1024, 1024, 8, 8),
+                             (4096, 4096, 16, 16), (512, 256, 8, 4)])
+
+    @given(grids, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_blocks_for_region_is_exact_cover(self, grid, data):
+        ds = ImageDataset(*grid)
+        x0 = data.draw(st.integers(0, ds.width - 1))
+        y0 = data.draw(st.integers(0, ds.height - 1))
+        x1 = data.draw(st.integers(x0 + 1, ds.width))
+        y1 = data.draw(st.integers(y0 + 1, ds.height))
+        region = Region(x0, y0, x1, y1)
+        blocks = ds.blocks_for_region(region)
+        # Every returned block intersects the region...
+        for bid in blocks:
+            br = ds.block_region(bid)
+            assert br.x0 < x1 and br.x1 > x0 and br.y0 < y1 and br.y1 > y0
+        # ...and no other block does.
+        others = set(range(ds.n_blocks)) - set(blocks)
+        for bid in others:
+            br = ds.block_region(bid)
+            disjoint = br.x1 <= x0 or br.x0 >= x1 or br.y1 <= y0 or br.y0 >= y1
+            assert disjoint
+        # Over-fetch is never negative.
+        assert ds.wasted_bytes(region) >= 0
+
+    @given(grids, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_declustering_partitions_blocks(self, grid, n_copies):
+        ds = ImageDataset(*grid)
+        union = []
+        for c in range(n_copies):
+            union.extend(ds.blocks_for_copy(c, n_copies))
+        assert sorted(union) == list(range(ds.n_blocks))
+        counts = [len(ds.blocks_for_copy(c, n_copies)) for c in range(n_copies)]
+        assert max(counts) - min(counts) <= 1  # balanced
+
+
+class TestSchedulerProperties:
+    @given(
+        st.sampled_from(["rr", "dd"]),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unacked_bounded_and_conserved(self, policy, ncons, depth, script):
+        """Randomly interleave sends and acks; invariants hold throughout."""
+        sim = Simulator()
+        sched = make_scheduler(policy, sim, ncons, max_outstanding=depth)
+        sent = []
+
+        def driver():
+            for do_send in script:
+                if do_send:
+                    # Only attempt when some consumer has room, else the
+                    # acquire would (correctly) block forever here.
+                    if any(u < depth for u in sched.unacked):
+                        idx = yield from sched.acquire()
+                        sent.append(idx)
+                elif sent:
+                    sched.on_ack(sent.pop(0))
+                assert all(0 <= u <= depth for u in sched.unacked)
+                assert sum(sched.unacked) == len(sent)
+
+        p = sim.process(driver())
+        sim.run(p)
+        assert sum(sched.sent_counts) == sum(sched.acked_counts) + len(sent)
+
+
+class TestTransportProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=200_000),
+                    min_size=1, max_size=6),
+           st.sampled_from(["tcp", "socketvia"]))
+    @settings(max_examples=25, deadline=None)
+    def test_any_message_sequence_arrives_intact_in_order(self, msg_sizes, protocol):
+        from repro.cluster import Cluster
+        from repro.sockets import ProtocolAPI
+
+        cluster = Cluster(seed=9)
+        cluster.add_fabric("clan")
+        cluster.add_hosts("node", 2)
+        api = ProtocolAPI(cluster, protocol)
+        got = []
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            for _ in msg_sizes:
+                msg = yield from sock.recv_message()
+                got.append((msg.size, msg.payload))
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            for i, size in enumerate(msg_sizes):
+                yield from sock.send_message(size, payload=i)
+
+        srv = cluster.sim.process(server())
+        cluster.sim.process(client())
+        cluster.sim.run(srv)
+        assert got == [(s, i) for i, s in enumerate(msg_sizes)]

@@ -1,0 +1,139 @@
+"""Unit tests for the Simulator event loop (repro.sim.core)."""
+
+import pytest
+
+from repro.errors import EventLifecycleError, StopSimulation
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestClock:
+    def test_initial_time_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=100.0).now == 100.0
+
+    def test_peek_empty_heap(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, sim):
+        sim.timeout(5)
+        sim.timeout(3)
+        assert sim.peek() == 3
+
+    def test_clock_never_goes_backwards(self, sim):
+        times = []
+        for d in [5, 1, 3, 2, 4]:
+            sim.timeout(d).add_callback(lambda e: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+
+    def test_schedule_into_past_rejected(self, sim):
+        ev = sim.event()
+        with pytest.raises(EventLifecycleError):
+            sim.schedule(ev, delay=-0.1)
+
+
+class TestRun:
+    def test_run_until_time_sets_clock(self, sim):
+        sim.timeout(10)
+        sim.run(until=4)
+        assert sim.now == 4
+
+    def test_run_until_time_does_not_process_later_events(self, sim):
+        hits = []
+        sim.timeout(10).add_callback(lambda e: hits.append(1))
+        sim.run(until=4)
+        assert hits == []
+        sim.run()
+        assert hits == [1]
+
+    def test_run_until_event_returns_value(self, sim):
+        t = sim.timeout(2, value="payload")
+        assert sim.run(t) == "payload"
+        assert sim.now == 2
+
+    def test_run_until_failed_event_raises(self, sim):
+        ev = sim.event()
+        sim.timeout(1).add_callback(lambda e: ev.fail(RuntimeError("bad")))
+        with pytest.raises(RuntimeError, match="bad"):
+            sim.run(ev)
+
+    def test_run_until_already_processed_event(self, sim):
+        t = sim.timeout(1, "x")
+        sim.run()
+        assert sim.run(t) == "x"
+
+    def test_run_until_unreachable_event_raises(self, sim):
+        ev = sim.event()  # never triggered
+        sim.timeout(1)
+        with pytest.raises(StopSimulation):
+            sim.run(ev)
+
+    def test_run_until_past_time_rejected(self, sim):
+        sim.timeout(5)
+        sim.run(until=5)
+        with pytest.raises(ValueError):
+            sim.run(until=3)
+
+    def test_step_on_empty_heap_raises(self, sim):
+        with pytest.raises(StopSimulation):
+            sim.step()
+
+    def test_run_all_counts_events(self, sim):
+        for _ in range(7):
+            sim.timeout(1)
+        assert sim.run_all() == 7
+
+    def test_run_all_safety_valve(self, sim):
+        def forever(sim):
+            while True:
+                yield sim.timeout(1)
+
+        sim.process(forever(sim))
+        with pytest.raises(StopSimulation):
+            sim.run_all(max_events=100)
+
+
+class TestTraceHooks:
+    def test_hook_sees_every_event(self, sim):
+        seen = []
+        sim.add_trace_hook(lambda t, e: seen.append(t))
+        sim.timeout(1)
+        sim.timeout(2)
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_remove_hook(self, sim):
+        seen = []
+        hook = lambda t, e: seen.append(t)  # noqa: E731
+        sim.add_trace_hook(hook)
+        sim.remove_trace_hook(hook)
+        sim.timeout(1)
+        sim.run()
+        assert seen == []
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+
+            def proc(sim, name, period):
+                for _ in range(10):
+                    yield sim.timeout(period)
+                    log.append((round(sim.now, 12), name))
+
+            sim.process(proc(sim, "a", 0.3))
+            sim.process(proc(sim, "b", 0.2))
+            sim.process(proc(sim, "c", 0.3))  # ties with "a"
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()

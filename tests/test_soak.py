@@ -1,0 +1,93 @@
+"""Randomized soak tests: arbitrary traffic over arbitrary topologies.
+
+Hypothesis drives random meshes of connections and message schedules
+over both transports and checks global conservation invariants:
+
+* every byte sent is eventually received, exactly once, per connection;
+* per-connection FIFO survives arbitrary interleaving with other
+  connections on shared hosts and wires;
+* the simulation always drains (no deadlock, no livelock) and all
+  flow-control resources return to their resting state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.sockets import ProtocolAPI
+
+# A "script" is a list of connections; each connection is
+# (src_host_idx, dst_host_idx, [message sizes]).
+connections = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.lists(st.integers(0, 60_000), min_size=1, max_size=8),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def run_script(protocol: str, script, seed: int) -> None:
+    cluster = Cluster(seed=seed)
+    cluster.add_fabric("clan")
+    cluster.add_hosts("node", 4)
+    api = ProtocolAPI(cluster, protocol)
+    sim = cluster.sim
+    received = {}
+    done = []
+
+    for port_offset, (src, dst, sizes) in enumerate(script):
+        src_host = f"node{src:02d}"
+        dst_host = f"node{dst:02d}"
+        port = 7000 + port_offset
+        received[port] = []
+
+        def server(port=port, n=len(sizes), dst_host=dst_host):
+            listener = api.listen(dst_host, port)
+            sock = yield from listener.accept()
+            for _ in range(n):
+                msg = yield from sock.recv_message()
+                received[port].append((msg.size, msg.payload))
+
+        def client(port=port, sizes=sizes, src_host=src_host, dst_host=dst_host):
+            sock = api.socket(src_host)
+            yield from sock.connect((dst_host, port))
+            for i, size in enumerate(sizes):
+                yield from sock.send_message(size, payload=i)
+
+        done.append(sim.process(server()))
+        sim.process(client())
+
+    sim.run(sim.all_of(done))
+
+    # Conservation + FIFO per connection.
+    for port_offset, (_, _, sizes) in enumerate(script):
+        port = 7000 + port_offset
+        assert received[port] == [(s, i) for i, s in enumerate(sizes)]
+
+    # Flow control resting state: every SocketVIA socket holds its full
+    # credit window again; every TCP window is full.
+    for stack in cluster.host("node00").services.get("protocol_stacks", {}).values():
+        # Let any trailing credit-return frames settle.
+        pass
+    sim.run()  # drain any stragglers (credit updates in flight)
+    for host in cluster.hosts.values():
+        for stack in host.services.get("protocol_stacks", {}).values():
+            for sock in getattr(stack, "_by_vi", {}).values():
+                assert sock._credits.level == stack.credits
+            for ep in getattr(stack, "_endpoints", {}).values():
+                assert ep._window.level == stack.window
+
+
+class TestSoak:
+    @given(connections, st.integers(0, 1000))
+    @settings(max_examples=12, deadline=None)
+    def test_tcp_mesh(self, script, seed):
+        run_script("tcp", script, seed)
+
+    @given(connections, st.integers(0, 1000))
+    @settings(max_examples=12, deadline=None)
+    def test_socketvia_mesh(self, script, seed):
+        run_script("socketvia", script, seed)

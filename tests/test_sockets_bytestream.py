@@ -1,0 +1,115 @@
+"""Tests for the byte-stream socket view (send_bytes / recv_bytes)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.sockets import ProtocolAPI
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(seed=27)
+    c.add_fabric("clan")
+    c.add_hosts("node", 2)
+    return c
+
+
+def run_pair(cluster, server_gen, client_gen):
+    sim = cluster.sim
+    srv = sim.process(server_gen)
+    cli = sim.process(client_gen)
+    sim.run(sim.all_of([srv, cli]))
+    return srv.value, cli.value
+
+
+@pytest.mark.parametrize("protocol", ["tcp", "socketvia"])
+class TestByteStream:
+    def test_reads_need_not_align_with_writes(self, cluster, protocol):
+        """3 writes of 100 bytes consumed as 150 + 150."""
+        api = ProtocolAPI(cluster, protocol)
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            yield from sock.recv_exactly(150)
+            yield from sock.recv_exactly(150)
+            return sock.bytes_received
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            for _ in range(3):
+                yield from sock.send_bytes(100)
+
+        received, _ = run_pair(cluster, server(), client())
+        assert received == 300
+
+    def test_one_write_satisfies_many_reads(self, cluster, protocol):
+        api = ProtocolAPI(cluster, protocol)
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            chunks = []
+            total = 0
+            while total < 1000:
+                got = yield from sock.recv_bytes(64)
+                chunks.append(got)
+                total += got
+            return chunks
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_bytes(1000)
+
+        chunks, _ = run_pair(cluster, server(), client())
+        assert sum(chunks) == 1000
+        assert all(c <= 64 for c in chunks)
+
+    def test_recv_returns_at_most_available(self, cluster, protocol):
+        """A short write followed by a big recv yields the short count."""
+        api = ProtocolAPI(cluster, protocol)
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            got = yield from sock.recv_bytes(10_000)
+            return got
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_bytes(37)
+
+        got, _ = run_pair(cluster, server(), client())
+        assert got == 37
+
+    def test_validation(self, cluster, protocol):
+        api = ProtocolAPI(cluster, protocol)
+        sock = api.socket("node00")
+        with pytest.raises(ValueError):
+            next(sock.send_bytes(0))
+        with pytest.raises(ValueError):
+            next(sock.recv_bytes(-5))
+
+    def test_interleaves_with_message_api(self, cluster, protocol):
+        """Stream traffic and message traffic share the connection;
+        stream reads skip over non-stream messages only in order."""
+        api = ProtocolAPI(cluster, protocol)
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            yield from sock.recv_exactly(200)
+            msg = yield from sock.recv_message()
+            return msg.payload
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_bytes(200)
+            yield from sock.send_message(50, payload="marker")
+
+        payload, _ = run_pair(cluster, server(), client())
+        assert payload == "marker"

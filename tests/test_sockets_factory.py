@@ -1,0 +1,103 @@
+"""Unit tests for the protocol factory (repro.sockets.factory)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import NetworkError
+from repro.net import TCP_CLAN_LANE, TCP_FAST_ETHERNET, get_model
+from repro.sockets import PROTOCOLS, ProtocolAPI
+from repro.sockets.socketvia import SocketViaStack
+from repro.tcp import TcpStack
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(seed=8)
+    c.add_fabric("clan")
+    c.add_fabric("ethernet")
+    c.add_hosts("node", 3)
+    return c
+
+
+class TestProtocolSelection:
+    def test_known_protocols(self):
+        assert set(PROTOCOLS) == {"tcp", "socketvia", "tcp-fe"}
+
+    def test_unknown_protocol_rejected(self, cluster):
+        with pytest.raises(NetworkError):
+            ProtocolAPI(cluster, "quic")
+
+    def test_stack_classes(self, cluster):
+        assert isinstance(ProtocolAPI(cluster, "tcp").stack("node00"), TcpStack)
+        assert isinstance(
+            ProtocolAPI(cluster, "socketvia").stack("node01"), SocketViaStack
+        )
+
+    def test_default_models(self, cluster):
+        assert ProtocolAPI(cluster, "tcp").model is TCP_CLAN_LANE
+        assert ProtocolAPI(cluster, "tcp-fe").model is TCP_FAST_ETHERNET
+        assert ProtocolAPI(cluster, "socketvia").model is get_model("socketvia")
+
+    def test_default_fabrics(self, cluster):
+        assert ProtocolAPI(cluster, "tcp").fabric_name == "clan"
+        assert ProtocolAPI(cluster, "tcp-fe").fabric_name == "ethernet"
+
+    def test_model_override(self, cluster):
+        fast = TCP_CLAN_LANE.with_updates(o_send_seg=1e-6, o_recv_seg=1e-6)
+        api = ProtocolAPI(cluster, "tcp", model=fast)
+        assert api.stack("node00").model is fast
+
+    def test_stack_options_forwarded(self, cluster):
+        api = ProtocolAPI(cluster, "socketvia", credits=7)
+        assert api.stack("node00").credits == 7
+
+    def test_host_accepts_object_or_name(self, cluster):
+        api = ProtocolAPI(cluster, "tcp")
+        host = cluster.host("node00")
+        assert api.stack(host) is api.stack("node00")
+
+
+class TestStackSharing:
+    def test_same_api_reuses_stack(self, cluster):
+        api = ProtocolAPI(cluster, "tcp")
+        assert api.stack("node00") is api.stack("node00")
+
+    def test_two_apis_share_host_stack(self, cluster):
+        a = ProtocolAPI(cluster, "tcp")
+        b = ProtocolAPI(cluster, "tcp")
+        assert a.stack("node00") is b.stack("node00")
+
+    def test_different_protocols_get_different_stacks(self, cluster):
+        a = ProtocolAPI(cluster, "tcp").stack("node00")
+        b = ProtocolAPI(cluster, "socketvia").stack("node00")
+        assert a is not b
+
+    def test_tcp_over_both_fabrics_coexists(self, cluster):
+        clan = ProtocolAPI(cluster, "tcp").stack("node00")
+        ether = ProtocolAPI(cluster, "tcp-fe").stack("node00")
+        assert clan is not ether
+
+    def test_fast_ethernet_is_slower(self, cluster):
+        """End-to-end: the same exchange over the 100 Mbps fabric."""
+        sim = cluster.sim
+        out = {}
+        for proto, port in (("tcp", 80), ("tcp-fe", 81)):
+            api = ProtocolAPI(cluster, proto)
+
+            def server(api=api, port=port, proto=proto):
+                listener = api.listen("node01", port)
+                sock = yield from listener.accept()
+                msg = yield from sock.recv_message()
+                out[proto] = sim.now - msg.sent_at
+
+            def client(api=api, port=port):
+                sock = api.socket("node00")
+                yield from sock.connect(("node01", port))
+                yield from sock.send_message(65536)
+
+            srv = sim.process(server())
+            sim.process(client())
+            sim.run(srv)
+        # Kernel costs are shared; the 10x slower wire dominates a 64 KB
+        # transfer enough for a ~3x end-to-end gap.
+        assert out["tcp-fe"] > 2 * out["tcp"]

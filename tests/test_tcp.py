@@ -1,0 +1,321 @@
+"""Unit tests for the simulated kernel TCP stack."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import AddressError, ConnectionRefused, SocketClosedError
+from repro.sockets import ProtocolAPI
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(seed=1)
+    c.add_fabric("clan")
+    c.add_hosts("node", 3)
+    return c
+
+
+@pytest.fixture
+def api(cluster):
+    return ProtocolAPI(cluster, "tcp")
+
+
+def run_pair(cluster, server_gen, client_gen):
+    sim = cluster.sim
+    srv = sim.process(server_gen)
+    cli = sim.process(client_gen)
+    sim.run(sim.all_of([srv, cli]))
+    return srv.value, cli.value
+
+
+class TestConnection:
+    def test_connect_accept_roundtrip(self, cluster, api):
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            msg = yield from sock.recv_message()
+            return msg.payload
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_message(128, payload="hi")
+            return sock.peer_address
+
+        got, peer = run_pair(cluster, server(), client())
+        assert got == "hi"
+        assert peer == ("node01", 80)
+
+    def test_connect_refused_without_listener(self, cluster, api):
+        # The remote stack must exist (host is up) for a refusal to come
+        # back; an absent stack models an unreachable host instead.
+        api.stack("node01")
+
+        def client():
+            sock = api.socket("node00")
+            try:
+                yield from sock.connect(("node01", 81))
+            except ConnectionRefused:
+                return "refused"
+            return "accepted"
+
+        p = cluster.sim.process(client())
+        assert cluster.sim.run(p) == "refused"
+
+    def test_duplicate_bind_rejected(self, cluster, api):
+        api.listen("node01", 80)
+        with pytest.raises(AddressError):
+            api.listen("node01", 80)
+
+    def test_rebind_after_listener_close(self, cluster, api):
+        listener = api.listen("node01", 80)
+        listener.close()
+        api.listen("node01", 80)  # no raise
+
+    def test_multiple_clients_one_listener(self, cluster, api):
+        seen = []
+
+        def server():
+            listener = api.listen("node02", 80)
+            for _ in range(2):
+                sock = yield from listener.accept()
+                msg = yield from sock.recv_message()
+                seen.append(msg.payload)
+
+        def client(host, tag):
+            sock = api.socket(host)
+            yield from sock.connect(("node02", 80))
+            yield from sock.send_message(64, payload=tag)
+
+        sim = cluster.sim
+        srv = sim.process(server())
+        sim.process(client("node00", "a"))
+        sim.process(client("node01", "b"))
+        sim.run(srv)
+        assert sorted(seen) == ["a", "b"]
+
+    def test_handshake_takes_roundtrip_time(self, cluster, api):
+        def server():
+            listener = api.listen("node01", 80)
+            yield from listener.accept()
+
+        def client():
+            sim = cluster.sim
+            sock = api.socket("node00")
+            t0 = sim.now
+            yield from sock.connect(("node01", 80))
+            return sim.now - t0
+
+        _, dt = run_pair(cluster, server(), client())
+        # At least one wire round trip of propagation.
+        assert dt >= 2 * api.model.l_wire
+
+
+class TestDataTransfer:
+    @pytest.mark.parametrize("size", [0, 1, 1460, 1461, 65536, 300_000])
+    def test_messages_arrive_intact(self, cluster, api, size):
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            msg = yield from sock.recv_message()
+            return (msg.size, msg.payload)
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_message(size, payload=("data", size))
+
+        got, _ = run_pair(cluster, server(), client())
+        assert got == (size, ("data", size))
+
+    def test_fifo_ordering(self, cluster, api):
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            out = []
+            for _ in range(10):
+                msg = yield from sock.recv_message()
+                out.append(msg.payload)
+            return out
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            for i in range(10):
+                yield from sock.send_message(512 * (i + 1), payload=i)
+
+        got, _ = run_pair(cluster, server(), client())
+        assert got == list(range(10))
+
+    def test_window_backpressures_in_flight_data(self, cluster):
+        """The send window bounds how far the sender runs ahead of the
+        receiver's kernel: sending N units cannot complete faster than
+        the receive path drains N - window/unit of them."""
+        api = ProtocolAPI(cluster, "tcp", window=32768, max_unit=16384)
+        sim = cluster.sim
+        n, size = 20, 16384
+        model = api.model
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            for _ in range(n):
+                yield from sock.recv_message()
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            t0 = sim.now
+            for _ in range(n):
+                yield from sock.send_message(size)
+            return sim.now - t0
+
+        _, send_span = run_pair(cluster, server(), client())
+        in_flight_units = 32768 // size
+        min_span = (n - in_flight_units) * model.receiver_time(size)
+        assert send_span >= min_span * 0.95
+
+    def test_bidirectional_traffic(self, cluster, api):
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            for _ in range(3):
+                msg = yield from sock.recv_message()
+                yield from sock.send_message(msg.size, payload=msg.payload)
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            echoes = []
+            for i in range(3):
+                yield from sock.send_message(1000, payload=i)
+                msg = yield from sock.recv_message()
+                echoes.append(msg.payload)
+            return echoes
+
+        _, echoes = run_pair(cluster, server(), client())
+        assert echoes == [0, 1, 2]
+
+    def test_byte_counters(self, cluster, api):
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            yield from sock.recv_message()
+            return sock.bytes_received
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_message(12345)
+            return sock.bytes_sent
+
+        got, sent = run_pair(cluster, server(), client())
+        assert got == sent == 12345
+
+
+class TestClose:
+    def test_recv_after_peer_close_raises(self, cluster, api):
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            msg = yield from sock.recv_message()
+            try:
+                yield from sock.recv_message()
+            except SocketClosedError:
+                return ("got", msg.payload)
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_message(10, payload="bye")
+            sock.close()
+
+        got, _ = run_pair(cluster, server(), client())
+        assert got == ("got", "bye")
+
+    def test_fin_ordered_after_data(self, cluster, api):
+        """Close immediately after a large send: data must still arrive."""
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            msg = yield from sock.recv_message()
+            return msg.size
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_message(200_000)
+            sock.close()
+
+        got, _ = run_pair(cluster, server(), client())
+        assert got == 200_000
+
+    def test_send_on_closed_socket_raises(self, cluster, api):
+        def client():
+            sock = api.socket("node00")
+            sock.close()
+            try:
+                yield from sock.send_message(1)
+            except SocketClosedError:
+                return "raised"
+
+        p = cluster.sim.process(client())
+        assert cluster.sim.run(p) == "raised"
+
+    def test_double_close_is_noop(self, cluster, api):
+        sock = api.socket("node00")
+        sock.close()
+        sock.close()
+
+
+class TestTiming:
+    def test_one_way_latency_matches_model(self, cluster, api):
+        sim = cluster.sim
+        model = api.model
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            msg = yield from sock.recv_message()
+            return sim.now - msg.sent_at
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield sim.timeout(1.0)  # let the handshake fully quiesce
+            yield from sock.send_message(4)
+
+        dt, _ = run_pair(cluster, server(), client())
+        assert dt == pytest.approx(model.des_message_latency(4), rel=1e-6)
+
+    def test_kernel_serializes_send_and_receive(self, cluster, api):
+        """Two hosts blasting node02 simultaneously: node02's kernel path
+        caps aggregate ingest at the model's receive rate."""
+        sim = cluster.sim
+        model = api.model
+        n, size = 20, 16384
+
+        def server(port, results):
+            listener = api.listen("node02", port)
+            sock = yield from listener.accept()
+            for _ in range(n):
+                yield from sock.recv_message()
+            results.append(sim.now)
+
+        def client(host, port):
+            sock = api.socket(host)
+            yield from sock.connect(("node02", port))
+            for _ in range(n):
+                yield from sock.send_message(size)
+
+        ends = []
+        s1 = sim.process(server(80, ends))
+        s2 = sim.process(server(81, ends))
+        sim.process(client("node00", 80))
+        sim.process(client("node01", 81))
+        sim.run(sim.all_of([s1, s2]))
+        elapsed = max(ends)
+        # 2n messages through one serialized kernel: at least the sum of
+        # receive costs.
+        assert elapsed >= 2 * n * model.receiver_time(size) * 0.95
