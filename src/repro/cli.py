@@ -10,6 +10,10 @@ Commands
 ``calibration``
     Show the calibrated cost-model parameters next to the paper's
     targets.
+``trace <figure>``
+    Run a figure (quick axes by default) with cross-layer trace
+    recording on and print per-kind counts, the layers covered, and a
+    sample of records.
 ``list``
     List available figures with their runtime class.
 """
@@ -111,6 +115,69 @@ def cmd_calibration(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Trace-point kind prefix -> the architectural layer it instruments.
+_TRACE_LAYERS = {
+    "tcp.": "transport",
+    "udp.": "transport",
+    "via.": "transport",
+    "sockets.": "sockets",
+    "datacutter.": "datacutter",
+    "cluster.": "cluster",
+}
+
+
+def _trace_layer(kind: str) -> str:
+    for prefix, layer in _TRACE_LAYERS.items():
+        if kind.startswith(prefix):
+            return layer
+    return "other"
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.sim.trace import tracing
+
+    registry = _figure_registry()
+    fig_id = args.id.lower().lstrip("fig")
+    if fig_id not in registry:
+        print(f"unknown figure {args.id!r}; have {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    with tracing() as tracer:
+        table = registry[fig_id](not args.full)
+    records = list(tracer.records)
+    if args.kind:
+        records = [r for r in records
+                   if r.kind == args.kind
+                   or r.kind.startswith(args.kind + ".")]
+    print(table.render())
+
+    counts = Counter(r.kind for r in records)
+    layers = sorted({_trace_layer(k) for k in counts})
+    print(f"\ntrace: {len(records)} records"
+          f"{' (ring-buffer truncated)' if len(tracer.records) == tracer.records.maxlen else ''}"
+          f" across {len(counts)} kinds, layers: {', '.join(layers) or 'none'}")
+    for kind in sorted(counts):
+        print(f"  {kind:<18} {counts[kind]:>8}  [{_trace_layer(kind)}]")
+    if args.limit:
+        shown = records[-args.limit:]
+        print(f"\nlast {len(shown)} records:")
+        for rec in shown:
+            print(f"  {rec!r}")
+    if args.out:
+        import json
+
+        with open(args.out, "w") as fh:
+            for rec in records:
+                fh.write(json.dumps(
+                    {"time": rec.time, "kind": rec.kind, **rec.fields},
+                    default=str,
+                ) + "\n")
+        print(f"\nwrote {len(records)} records to {args.out}")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("figures (python -m repro figure <id>):")
     for fig_id in sorted(_figure_registry()):
@@ -143,6 +210,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cal = sub.add_parser("calibration", help="show model parameters")
     p_cal.set_defaults(func=cmd_calibration)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a figure with cross-layer tracing on"
+    )
+    p_trace.add_argument("id", help="figure id, e.g. 4a or fig4a")
+    p_trace.add_argument("--kind", default=None,
+                         help="only count/show this kind (prefix match)")
+    p_trace.add_argument("--limit", type=int, default=10, metavar="N",
+                         help="print the last N records (default 10, 0=none)")
+    p_trace.add_argument("--full", action="store_true",
+                         help="full figure axes instead of quick ones")
+    p_trace.add_argument("--out", metavar="FILE", default=None,
+                         help="dump matching records as JSON lines")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_list = sub.add_parser("list", help="list available figures")
     p_list.set_defaults(func=cmd_list)

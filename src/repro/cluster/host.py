@@ -23,6 +23,7 @@ from typing import Any, Dict, Generator, Optional
 from repro.errors import ClusterError
 from repro.sim import Event, Resource, Simulator
 from repro.sim.rng import RandomStreams
+from repro.sim.trace import NULL_TRACER, Tracer
 
 from repro.cluster.hetero import ConstantSpeed, SlowdownModel
 
@@ -68,6 +69,9 @@ class Host:
         self.compute_ns_per_byte = float(compute_ns_per_byte)
         self.slowdown = slowdown or ConstantSpeed()
         self.rng = rng or RandomStreams(0)
+        #: Trace sink inherited by every stack/NIC built on this host
+        #: (the owning cluster points it at its own tracer).
+        self.tracer: Tracer = NULL_TRACER
         #: NICs attached by transports, keyed by an arbitrary label
         #: ("via", "ethernet", ...).
         self.nics: Dict[str, Any] = {}

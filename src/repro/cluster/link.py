@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.sim import Simulator, Store
+from repro.sim.trace import NULL_TRACER, Tracer
 
 __all__ = ["Transmission", "LinkDirection", "Port", "Switch"]
 
@@ -88,9 +89,11 @@ class LinkDirection:
         deliver: Optional[Callable[[Transmission], None]] = None,
         on_start: Optional[Callable[[Transmission, float], None]] = None,
         name: str = "",
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.name = name
+        self.tracer = tracer
         self._deliver = deliver
         #: Called the instant a transmission starts occupying the wire
         #: (the switch's cut-through routing hook).
@@ -131,6 +134,11 @@ class LinkDirection:
         self.busy_time += tx.service_time
         self.bytes_carried += tx.size
         self.tx_count += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster.link", link=self.name, size=tx.size, dst=tx.dst,
+                tag=tx.tag,
+            )
         if self._queue:
             self._start(self._queue.popleft())
         else:
@@ -182,9 +190,16 @@ class Port:
 class Switch:
     """Full-crossbar switch connecting named full-duplex ports."""
 
-    def __init__(self, sim: Simulator, propagation: float = 0.0, name: str = "switch") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: float = 0.0,
+        name: str = "switch",
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
         self.sim = sim
         self.name = name
+        self.tracer = tracer
         #: Extra switching delay added to every transmission's own
         #: propagation (usually 0: cost models carry their own l_wire).
         self.propagation = float(propagation)
@@ -199,11 +214,13 @@ class Switch:
             self.sim,
             on_start=self._route,
             name=f"{self.name}.{name}.up",
+            tracer=self.tracer,
         )
         port.downlink = LinkDirection(
             self.sim,
             deliver=port._deposit,
             name=f"{self.name}.{name}.down",
+            tracer=self.tracer,
         )
         self._ports[name] = port
         return port

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 from repro.errors import TopologyError
 from repro.sim import Simulator
 from repro.sim.rng import RandomStreams
-from repro.sim.trace import NULL_TRACER, Tracer
+from repro.sim.trace import Tracer, default_tracer
 
 from repro.cluster.hetero import SlowdownModel
 from repro.cluster.host import Host
@@ -39,7 +39,9 @@ class Cluster:
     ) -> None:
         self.sim = sim or Simulator()
         self.rng = RandomStreams(seed)
-        self.tracer = tracer or NULL_TRACER
+        # No explicit tracer → the process default, so drivers that
+        # build their own clusters are traceable via ``with tracing():``.
+        self.tracer = tracer or default_tracer()
         self.tracer.bind_clock(lambda: self.sim.now)
         self.hosts: Dict[str, Host] = {}
         self._fabrics: Dict[str, Switch] = {}
@@ -67,6 +69,7 @@ class Cluster:
             rng=self.rng.spawn(f"host.{name}"),
             **kwargs,
         )
+        host.tracer = self.tracer
         self.hosts[name] = host
         for fabric in self._fabrics.values():
             fabric.add_port(name)
@@ -91,7 +94,9 @@ class Cluster:
         """Create a switch fabric; existing hosts get ports on it."""
         if name in self._fabrics:
             raise TopologyError(f"duplicate fabric {name!r}")
-        switch = Switch(self.sim, propagation=propagation, name=name)
+        switch = Switch(
+            self.sim, propagation=propagation, name=name, tracer=self.tracer
+        )
         self._fabrics[name] = switch
         for host_name in self.hosts:
             switch.add_port(host_name)

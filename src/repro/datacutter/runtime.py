@@ -253,6 +253,12 @@ class AppInstance:
             payload=payload,
             submitted_at=self.sim.now,
         )
+        tracer = self.runtime.cluster.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "datacutter.uow", uow=uow.uow_id, group=self.group.name,
+                phase="submit",
+            )
         procs: List[Event] = []
         for copy in self._copies.values():
             copy.ctx.uow = uow
@@ -262,6 +268,11 @@ class AppInstance:
             ))
         yield self.sim.all_of(procs)
         uow.completed_at = self.sim.now
+        if tracer.enabled:
+            tracer.emit(
+                "datacutter.uow", uow=uow.uow_id, group=self.group.name,
+                phase="complete", elapsed=uow.elapsed,
+            )
         return uow
 
     def _copy_proc(self, copy: _Copy, uow: UnitOfWork):

@@ -1,8 +1,6 @@
 """Unified simulated sockets: one API over kernel TCP and SocketVIA."""
 
 from repro.sockets.api import Address, BaseSocket, ListenerSocket
-from repro.sockets.factory import PROTOCOLS, ProtocolAPI
-from repro.sockets.socketvia import SocketViaSocket, SocketViaStack
 
 __all__ = [
     "Address",
@@ -13,3 +11,22 @@ __all__ = [
     "SocketViaStack",
     "SocketViaSocket",
 ]
+
+# The factory and the SocketVIA backend sit above repro.transport, which
+# itself builds on repro.sockets.api; loading them eagerly here would
+# make ``import repro.transport`` circular.  PEP 562 keeps them lazy.
+_LAZY = {
+    "ProtocolAPI": "repro.sockets.factory",
+    "PROTOCOLS": "repro.sockets.factory",
+    "SocketViaStack": "repro.sockets.socketvia",
+    "SocketViaSocket": "repro.sockets.socketvia",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

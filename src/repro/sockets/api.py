@@ -28,6 +28,7 @@ from typing import Any, Generator, Optional, Tuple
 from repro.errors import SocketClosedError
 from repro.net.message import Message
 from repro.sim import Event, Store
+from repro.sim.trace import NULL_TRACER
 
 __all__ = ["Address", "BaseSocket", "ListenerSocket"]
 
@@ -45,6 +46,8 @@ class BaseSocket:
     def __init__(self, stack: Any) -> None:
         self.stack = stack
         self.sim = stack.sim
+        self._tracer = getattr(stack, "tracer", NULL_TRACER)
+        self._proto = getattr(stack, "tag", type(stack).__name__)
         self.local_address: Optional[Address] = None
         self.peer_address: Optional[Address] = None
         self.connected = False
@@ -87,6 +90,10 @@ class BaseSocket:
         Returns the :class:`~repro.net.message.Message` actually sent.
         """
         self._check_connected()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "sockets.send", proto=self._proto, size=size, kind=kind
+            )
         msg = Message(size=size, payload=payload, kind=kind, sent_at=self.sim.now)
         yield from self._do_send(msg)
         self.bytes_sent += size
@@ -100,6 +107,11 @@ class BaseSocket:
             # None is the in-band end-of-stream marker posted by close.
             raise SocketClosedError("peer closed the connection")
         self.bytes_received += msg.size
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "sockets.recv", proto=self._proto, size=msg.size,
+                kind=msg.kind, latency=self.sim.now - msg.sent_at,
+            )
         self._after_recv(msg)
         return msg
 
@@ -118,13 +130,20 @@ class BaseSocket:
         *size*-byte message but bypass per-message flow control,
         fragmentation and reassembly — they are single small frames by
         construction (DataCutter acknowledgments).  Delivery is
-        unordered relative to data.  Stacks override this with a lean
-        path; the base implementation falls back to a regular message.
+        unordered relative to data.  Stacks built on
+        :class:`~repro.transport.base.StackBase` provide the lean path
+        (``send_control_datagram``); transports without one fall back
+        to a regular message.
         """
         self._check_connected()
-        yield from self._do_send(
-            Message(size=size, payload=payload, kind=kind, sent_at=self.sim.now)
-        )
+        lean = getattr(self.stack, "send_control_datagram", None)
+        if lean is not None:
+            yield from lean(self, size, kind, payload)
+        else:
+            yield from self._do_send(
+                Message(size=size, payload=payload, kind=kind,
+                        sent_at=self.sim.now)
+            )
         self.bytes_sent += size
 
     def on_control(self, kind: str, fn) -> None:

@@ -4,36 +4,72 @@ The paper's applications are "written using the sockets interface" and
 moved between TCP and SocketVIA without code changes; this module is
 the simulation's version of relinking against a different library::
 
-    api = ProtocolAPI(cluster, "socketvia")     # or "tcp", "tcp-fe"
+    api = ProtocolAPI(cluster, "socketvia")     # or "tcp", "udp", "tcp-fe"
     listener = api.listen("node01", 5000)
     sock = api.socket("node00")
     yield from sock.connect(("node01", 5000))
 
-Stacks are created lazily per host and cached on the
-:class:`~repro.cluster.topology.Cluster`.
+The name → stack mapping lives in the transport registry
+(:mod:`repro.transport.registry`); this module registers the built-in
+backends and resolves names through it, so a new transport becomes
+selectable with one :func:`~repro.transport.registry.register_transport`
+call — no factory edits.  Stacks are created lazily per host and cached
+on the host's service registry.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Union
+from collections.abc import Mapping
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from repro.cluster.host import Host
 from repro.cluster.topology import Cluster
 from repro.errors import NetworkError
-from repro.net.calibration import get_model
 from repro.net.model import ProtocolCostModel
 from repro.sockets.api import BaseSocket, ListenerSocket
 from repro.sockets.socketvia import SocketViaStack
 from repro.tcp.stack import TcpStack
+from repro.transport.registry import (
+    get_transport,
+    register_transport,
+    transport_names,
+)
+from repro.udp.stack import UdpStack
 
 __all__ = ["ProtocolAPI", "PROTOCOLS"]
 
-#: protocol name -> (stack class, default fabric)
-PROTOCOLS = {
-    "tcp": (TcpStack, "clan"),
-    "socketvia": (SocketViaStack, "clan"),
-    "tcp-fe": (TcpStack, "ethernet"),
-}
+# The built-in backends.  "udp" borrows the TCP cost model: both ride
+# the same kernel path, and the paper calibrates only the TCP figures.
+register_transport("tcp", TcpStack, default_fabric="clan")
+register_transport("socketvia", SocketViaStack, default_fabric="clan")
+register_transport("tcp-fe", TcpStack, default_fabric="ethernet",
+                   model_name="tcp-fe")
+register_transport("udp", UdpStack, default_fabric="clan", model_name="tcp")
+
+
+class _ProtocolsView(Mapping):
+    """Live read-only view of the registry in the legacy
+    ``name -> (stack class, default fabric)`` shape."""
+
+    def __getitem__(self, name: str) -> Tuple[type, str]:
+        try:
+            spec = get_transport(name)
+        except NetworkError:
+            raise KeyError(name) from None
+        return spec.stack_cls, spec.default_fabric
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(transport_names())
+
+    def __len__(self) -> int:
+        return len(transport_names())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PROTOCOLS({sorted(self)})"
+
+
+#: protocol name -> (stack class, default fabric); tracks the registry.
+PROTOCOLS = _ProtocolsView()
 
 
 class ProtocolAPI:
@@ -44,11 +80,12 @@ class ProtocolAPI:
     cluster:
         The cluster to operate on.
     protocol:
-        "tcp" (kernel sockets over cLAN LANE), "socketvia" (user-level
-        sockets over VIA), or "tcp-fe" (kernel sockets over Fast
-        Ethernet).
+        Any registered transport name: "tcp" (kernel sockets over cLAN
+        LANE), "socketvia" (user-level sockets over VIA), "tcp-fe"
+        (kernel sockets over Fast Ethernet), "udp" (kernel datagrams),
+        or a backend added via ``register_transport``.
     fabric:
-        Override the default fabric name.
+        Override the transport's default fabric name.
     model:
         Override the calibrated cost model (ablations).
     stack_options:
@@ -64,17 +101,12 @@ class ProtocolAPI:
         model: Optional[ProtocolCostModel] = None,
         **stack_options: Any,
     ) -> None:
-        if protocol not in PROTOCOLS:
-            raise NetworkError(
-                f"unknown protocol {protocol!r}; have {sorted(PROTOCOLS)}"
-            )
+        spec = get_transport(protocol)
         self.cluster = cluster
         self.protocol = protocol
-        stack_cls, default_fabric = PROTOCOLS[protocol]
-        self._stack_cls = stack_cls
-        self.fabric_name = fabric or default_fabric
-        base_model_name = "tcp-fe" if protocol == "tcp-fe" else protocol
-        self.model = model or get_model(base_model_name)
+        self._stack_cls = spec.stack_cls
+        self.fabric_name = fabric or spec.default_fabric
+        self.model = model or spec.default_model()
         self._stack_options = stack_options
         self._stacks: Dict[str, Any] = {}
 

@@ -26,6 +26,13 @@ performance substrate.  The construction follows the real design
   path (the real library piggybacks them on data when it can; the
   explicit frame is the worst case and costs wire time accordingly).
 
+The per-host port registry, rx daemon and lean control-datagram path
+come from :class:`~repro.transport.base.StackBase`; connection setup
+and the data plane are delegated to the :class:`~repro.via.nic.ViaNic`
+(VIA dialogs replace the shared SYN handshake, data rides VIA frames
+instead of demuxed transmissions), which is why this stack passes
+``consume_port=False`` and registers VIA frame handlers instead.
+
 All host/NIC/wire timing comes from the NIC's cost model (default the
 calibrated ``SOCKETVIA_CLAN``); the layer itself adds no hidden costs.
 """
@@ -33,16 +40,17 @@ calibrated ``SOCKETVIA_CLAN``); the layer itself adds no hidden costs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro.cluster.host import Host
-from repro.cluster.link import Switch, Transmission
-from repro.errors import AddressError, ProtocolError
+from repro.cluster.link import Switch
+from repro.errors import ProtocolError
 from repro.net.calibration import SOCKETVIA_CLAN
 from repro.net.message import Message
 from repro.net.model import ProtocolCostModel
 from repro.sim import Container, Event, Resource, Store
 from repro.sockets.api import Address, BaseSocket, ListenerSocket
+from repro.transport.base import ControlDatagram, StackBase
 from repro.via.descriptors import Descriptor
 from repro.via.nic import ViaNic
 from repro.via.vi import VirtualInterface
@@ -98,20 +106,6 @@ class _RdmaHeader:
     payload: Any = None  # carried on the last part
 
 
-@dataclass
-class _ControlDatagram:
-    """Small out-of-band datagram (application-level acknowledgments).
-
-    Charged like a data fragment of its size on the host paths and the
-    wire, but outside the credit window (the real library reserves
-    descriptors for control traffic)."""
-
-    dst_vi: int
-    kind: str
-    size: int
-    payload: Any = None
-
-
 class SocketViaSocket(BaseSocket):
     """A connected SocketVIA endpoint (see :class:`BaseSocket`)."""
 
@@ -128,7 +122,7 @@ class SocketViaSocket(BaseSocket):
         # Receive-side reassembly and credit accounting.
         self._rx_got = 0
         self._credits_pending = 0  # consumed buffers not yet advertised
-        self._rx_daemon = None
+        self._rx_loop_proc = None
         self._tx_reaper = None
         # RDMA transfer mode (paper future work): the peer's landing
         # region, learned via a control advert after connect.
@@ -151,13 +145,15 @@ class SocketViaSocket(BaseSocket):
             sdesc = Descriptor(memory=stack.nic.memory.register_now(buf))
             ok = self._send_pool.try_put(sdesc)
             assert ok
-        self._rx_daemon = self.sim.process(
+        self._rx_loop_proc = self.sim.process(
             self._rx_loop(), name=f"{stack.host.name}.sv.rx.{vi.vi_id}"
         )
         self._tx_reaper = self.sim.process(
             self._tx_reap_loop(), name=f"{stack.host.name}.sv.reap.{vi.vi_id}"
         )
-        stack._by_vi[vi.vi_id] = self
+        # The VI id doubles as the endpoint id in the shared registry
+        # (control datagrams address the peer's vi_id).
+        stack._endpoints[vi.vi_id] = self
         if stack.rdma_threshold is not None:
             # Prepare the landing region + learn-handler; the advert
             # itself goes out in _post_establish once the dialog has a
@@ -191,10 +187,7 @@ class SocketViaSocket(BaseSocket):
         self._rdma_send_mem = self.stack.nic.memory.register_now(
             self.stack.rdma_region_bytes
         )
-        yield from self.stack.host.cpu.use(
-            self.stack.model.host_send_time(CREDIT_FRAME_BYTES)
-        )
-        self.stack._transmit_control(
+        yield from self.stack.send_control_datagram(
             self, CREDIT_FRAME_BYTES, "rdma_region", _RegionAdvert(region)
         )
 
@@ -209,7 +202,7 @@ class SocketViaSocket(BaseSocket):
         self._bind_vi(vi)
         yield from stack.nic.connect(vi, host_name, port)
         self._post_establish()
-        self.local_address = (stack.host.name, stack._ephemeral())
+        self.local_address = (stack.host.name, stack._ephemeral_port())
         self.peer_address = (host_name, port)
 
     # -- send ------------------------------------------------------------------------
@@ -303,14 +296,6 @@ class SocketViaSocket(BaseSocket):
         finally:
             self._rdma_mutex.release(mutex)
 
-    def send_control(self, size: int, kind: str = "ack", payload=None):
-        """Lean out-of-band datagram: user-level send cost + one frame."""
-        self._check_connected()
-        stack: SocketViaStack = self.stack
-        yield from stack.host.cpu.use(stack.model.host_send_time(size))
-        stack._transmit_control(self, size, kind, payload)
-        self.bytes_sent += size
-
     def _tx_reap_loop(self):
         """Recycle send descriptors as the NIC completes them.
 
@@ -387,8 +372,17 @@ class SocketViaSocket(BaseSocket):
         return f"<SocketViaSocket vi={vid} credits={self._credits.level}>"
 
 
-class SocketViaStack:
-    """Per-host SocketVIA library instance bound to one switch fabric."""
+class SocketViaStack(StackBase):
+    """Per-host SocketVIA library instance bound to one switch fabric.
+
+    A :class:`~repro.transport.base.StackBase` whose wire plumbing is
+    owned by its :class:`~repro.via.nic.ViaNic`: data and credit frames
+    ride VIA, only control datagrams flow through the shared rx daemon
+    (fed by a frame handler rather than the port demux).
+    """
+
+    tag = "socketvia"
+    socket_cls = SocketViaSocket
 
     def __init__(
         self,
@@ -408,34 +402,40 @@ class SocketViaStack:
             raise ValueError("need at least one credit")
         if rdma_threshold is not None and rdma_threshold < 1:
             raise ValueError("rdma_threshold must be positive")
-        self.host = host
-        self.sim = host.sim
-        self.switch = switch
-        self.model = model
         self.credits = int(credits)
         self.rdma_threshold = rdma_threshold
         self.rdma_region_bytes = int(rdma_region_bytes)
+        super().__init__(host, switch, model, consume_port=False)
         self.nic = ViaNic(host, switch, model=model, tag=f"sv.{model.name}")
         self.nic.register_frame_handler(_CreditFrame, self._on_credit_frame)
-        self.nic.register_frame_handler(_ControlDatagram, self._on_control_frame)
-        self._listeners: Dict[int, ListenerSocket] = {}
-        self._by_vi: Dict[int, SocketViaSocket] = {}
-        self._ctrl_rx: Store = Store(host.sim, name=f"{host.name}.sv.ctrlrx")
-        host.sim.process(self._ctrl_rx_daemon(), name=f"{host.name}.sv.ctrl")
-        self._eph = 49152
+        # Control datagrams arrive as VIA frames but take the shared
+        # serialized rx path (charge host cost, route by endpoint id).
+        self.nic.register_frame_handler(ControlDatagram, self._enqueue_rx)
 
-    # -- public API ---------------------------------------------------------------------
+    # -- wire plumbing (delegated to the VIA NIC) ----------------------------------------
 
-    def socket(self) -> SocketViaSocket:
-        """A fresh unconnected SocketVIA socket on this host."""
-        return SocketViaSocket(self)
+    @property
+    def wire_tag(self) -> str:
+        return self.nic.tag
+
+    def _charge_send(self, nbytes: Optional[int]) -> Generator:
+        """User-level send cost on the host CPU (no kernel involved)."""
+        yield from self.host.cpu.use(self.model.host_send_time(nbytes or 0))
+
+    def _charge_rx(self, pkt: Any) -> Generator:
+        """User-level receive cost for a control frame."""
+        yield from self.host.cpu.use(self.model.host_recv_time(pkt.size))
+
+    def _control_route(self, sock: SocketViaSocket):
+        """Control datagrams address the peer's VI id."""
+        vi = sock.vi
+        return vi.peer_host, vi.peer_vi
+
+    # -- connection setup (VIA dialog instead of the shared handshake) -------------------
 
     def listen(self, port: int) -> ListenerSocket:
         """Bind a listener; VIA discriminator = port number."""
-        if port in self._listeners:
-            raise AddressError(f"{self.host.name}:{port} already bound (sv)")
-        listener = ListenerSocket(self, (self.host.name, port))
-        self._listeners[port] = listener
+        listener = super().listen(port)
         via_listener = self.nic.listen(port)
         self.sim.process(
             self._accept_loop(listener, via_listener),
@@ -443,13 +443,10 @@ class SocketViaStack:
         )
         return listener
 
-    def _unbind(self, address: Address) -> None:
-        self._listeners.pop(address[1], None)
-
     def _accept_loop(self, listener: ListenerSocket, via_listener):
         while not listener.closed:
             vi = yield from via_listener.wait_connection()
-            sock = SocketViaSocket(self)
+            sock = self.socket()
             sock.connected = True
             sock._bind_vi(vi)
             sock.local_address = listener.address
@@ -462,54 +459,21 @@ class SocketViaStack:
         vi = sock.vi
         if vi is None or vi.peer_vi is None:
             return
-        self.nic.port.uplink.send(
-            Transmission(
-                dst=vi.peer_host,
-                service_time=self.model.wire_unit_service(CREDIT_FRAME_BYTES),
-                propagation=self.model.l_wire,
-                payload=_CreditFrame(dst_vi=vi.peer_vi, count=count),
-                size=CREDIT_FRAME_BYTES,
-                tag=self.nic.tag,
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "via.credit", vi=vi.vi_id, count=count, dst=vi.peer_host
             )
+        self._transmit(
+            vi.peer_host, CREDIT_FRAME_BYTES,
+            _CreditFrame(dst_vi=vi.peer_vi, count=count),
         )
 
     def _on_credit_frame(self, frame: _CreditFrame) -> None:
-        sock = self._by_vi.get(frame.dst_vi)
+        sock = self._endpoints.get(frame.dst_vi)
         if sock is None:
             return
         ev = sock._credits.put(frame.count)
         ev.defused = True
-
-    # -- control datagrams -----------------------------------------------------------
-
-    def _transmit_control(self, sock: SocketViaSocket, size: int, kind: str, payload) -> None:
-        vi = sock.vi
-        self.nic.port.uplink.send(
-            Transmission(
-                dst=vi.peer_host,
-                service_time=self.model.wire_unit_service(size),
-                propagation=self.model.l_wire,
-                payload=_ControlDatagram(dst_vi=vi.peer_vi, kind=kind,
-                                         size=size, payload=payload),
-                size=size,
-                tag=self.nic.tag,
-            )
-        )
-
-    def _on_control_frame(self, frame: _ControlDatagram) -> None:
-        ev = self._ctrl_rx.put(frame)
-        ev.defused = True
-
-    def _ctrl_rx_daemon(self):
-        """Charges the receive-side host cost for control datagrams and
-        dispatches them; one daemon serializes per host, like the
-        library's completion-handling thread."""
-        while True:
-            frame: _ControlDatagram = yield self._ctrl_rx.get()
-            yield from self.host.cpu.use(self.model.host_recv_time(frame.size))
-            sock = self._by_vi.get(frame.dst_vi)
-            if sock is not None and not sock.closed:
-                sock._deliver_control(frame.kind, frame.payload, frame.size)
 
     # -- close ------------------------------------------------------------------------------
 
@@ -526,10 +490,6 @@ class SocketViaStack:
                 yield from sock.vi.post_send(desc)
 
         self.sim.process(closer(), name=f"{self.host.name}.sv.close")
-
-    def _ephemeral(self) -> int:
-        self._eph += 1
-        return self._eph
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<SocketViaStack host={self.host.name!r}>"

@@ -1,34 +1,41 @@
-"""Wire records exchanged by the simulated kernel TCP stack."""
+"""Wire records exchanged by the simulated kernel TCP stack.
+
+Connection management (SYN / SYN-ACK / FIN) and out-of-band control
+datagrams are the shared transport-core records — TCP adds nothing to
+them beyond the names; this module keeps the TCP vocabulary as aliases.
+Only :class:`DataUnit`, the windowed transfer unit, is TCP-specific.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any
 
-__all__ = ["SynPacket", "SynAckPacket", "DataUnit", "FinPacket", "CTRL_BYTES"]
+from repro.transport.base import (
+    CTRL_BYTES,
+    ConnectReply,
+    ConnectRequest,
+    ControlDatagram,
+    Shutdown,
+)
 
-#: Size charged for control packets (TCP/IP headers, a SYN, a FIN).
-CTRL_BYTES = 40
+__all__ = [
+    "SynPacket",
+    "SynAckPacket",
+    "DataUnit",
+    "FinPacket",
+    "CtrlDatagram",
+    "CTRL_BYTES",
+]
 
-
-@dataclass
-class SynPacket:
-    """Active-open request: client endpoint asking for ``dst_port``."""
-
-    src_host: str
-    src_ep: int
-    dst_port: int
-
-
-@dataclass
-class SynAckPacket:
-    """Passive-open reply; ``accepted`` False models connection refused."""
-
-    dst_ep: int            # the client endpoint being answered
-    src_host: str
-    src_ep: int            # the server endpoint (valid when accepted)
-    accepted: bool
-    local_port: int = 0    # the server-side port number
+#: Active-open request (shared transport-core record).
+SynPacket = ConnectRequest
+#: Passive-open reply; ``accepted`` False models connection refused.
+SynAckPacket = ConnectReply
+#: Orderly close marker.
+FinPacket = Shutdown
+#: Small out-of-band datagram, exempt from windowing and reassembly.
+CtrlDatagram = ControlDatagram
 
 
 @dataclass
@@ -51,24 +58,3 @@ class DataUnit:
     wnd: int
     payload: Any = None  # carried only on the last unit
     sent_at: float = 0.0
-
-
-@dataclass
-class FinPacket:
-    """Orderly close: the peer sees end-of-stream after queued data."""
-
-    dst_ep: int
-
-
-@dataclass
-class CtrlDatagram:
-    """Small out-of-band datagram (application-level acknowledgments).
-
-    Charged like any message of its size on both kernels and the wire,
-    but exempt from windowing and reassembly.
-    """
-
-    dst_ep: int
-    kind: str
-    size: int
-    payload: Any = None

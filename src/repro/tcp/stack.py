@@ -20,48 +20,36 @@ One :class:`TcpStack` per host models the 2.2-era Linux network path:
   per-MSS-segment + per-byte costs) and occupies the wire for its
   segmented service time.
 
-Timing comes entirely from the stack's
-:class:`~repro.net.model.ProtocolCostModel` (default: the calibrated
-``TCP_CLAN_LANE``), so the same code also models TCP over Fast Ethernet.
+The per-host machinery — port registry, demux registration, rx daemon,
+handshake and control-datagram paths — comes from
+:class:`~repro.transport.base.StackBase`; this module defines only the
+kernel-path costs and the windowed data plane.  Timing comes entirely
+from the stack's :class:`~repro.net.model.ProtocolCostModel` (default:
+the calibrated ``TCP_CLAN_LANE``), so the same code also models TCP
+over Fast Ethernet.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, Generator, Optional
+from typing import Generator, Optional
 
 from repro.cluster.host import Host
-from repro.cluster.link import Switch, Transmission
-from repro.errors import AddressError, ConnectionRefused, SocketClosedError
+from repro.cluster.link import Switch
 from repro.net.calibration import TCP_CLAN_LANE
-from repro.net.demux import demux_for
 from repro.net.message import Message
 from repro.net.model import ProtocolCostModel
-from repro.sim import Container, Resource, Store
-from repro.sockets.api import Address, BaseSocket, ListenerSocket
-from repro.tcp.packets import (
-    CTRL_BYTES,
-    CtrlDatagram,
-    DataUnit,
-    FinPacket,
-    SynAckPacket,
-    SynPacket,
-)
+from repro.sim import Container, Resource
+from repro.tcp.packets import ControlDatagram, DataUnit
+from repro.transport.base import EndpointSocket, StackBase
 
 __all__ = ["TcpStack", "TcpSocket"]
 
-#: First ephemeral port handed to active opens.
-EPHEMERAL_BASE = 49152
 
-
-class TcpSocket(BaseSocket):
+class TcpSocket(EndpointSocket):
     """A connected TCP endpoint (see :class:`BaseSocket` for the API)."""
 
     def __init__(self, stack: "TcpStack") -> None:
         super().__init__(stack)
-        self.ep_id = stack._new_ep_id()
-        self.peer_host: Optional[str] = None
-        self.peer_ep: Optional[int] = None
         #: Sender-side in-flight window (bytes); granted back when the
         #: remote application consumes data.
         self._window = Container(
@@ -69,35 +57,13 @@ class TcpSocket(BaseSocket):
             name=f"{stack.host.name}.ep{self.ep_id}.wnd",
         )
         self._send_mutex = Resource(self.sim, 1)
-        self._handshake = None  # event while connecting
         # Reassembly state for the message currently being received.
         self._rx_got = 0
-        stack._endpoints[self.ep_id] = self
-
-    # -- connect ------------------------------------------------------------------
-
-    def _do_connect(self, address: Address) -> Generator:
-        host_name, port = address
-        self.peer_host = host_name
-        self.local_address = (self.stack.host.name, self.stack._ephemeral_port())
-        self.peer_address = (host_name, port)
-        self._handshake = self.sim.event()
-        # SYN: small kernel cost, a control packet on the wire.
-        yield from self.stack.kernel.use(self.stack.model.o_send_msg)
-        self.stack._transmit(
-            host_name, CTRL_BYTES,
-            SynPacket(self.stack.host.name, self.ep_id, port),
-        )
-        ok = yield self._handshake
-        self._handshake = None
-        if not ok:
-            raise ConnectionRefused(f"no listener at {address}")
 
     # -- send ------------------------------------------------------------------------
 
     def _do_send(self, message: Message) -> Generator:
         stack: TcpStack = self.stack
-        model = stack.model
         mutex = self._send_mutex.request()
         yield mutex
         try:
@@ -109,7 +75,12 @@ class TcpSocket(BaseSocket):
                 wnd = max(unit, 1)  # zero-byte markers still cost a slot
                 yield self._window.get(wnd)
                 # Kernel send path: syscall + segmentation + copy.
-                yield from stack.kernel.use(model.sender_time(unit))
+                yield from stack._charge_send(unit)
+                if stack.tracer.enabled:
+                    stack.tracer.emit(
+                        "tcp.segment", size=unit, dst=self.peer_host,
+                        msg_id=message.msg_id, last=is_last,
+                    )
                 stack._transmit(
                     self.peer_host,
                     unit,
@@ -133,18 +104,6 @@ class TcpSocket(BaseSocket):
         finally:
             self._send_mutex.release(mutex)
 
-    def send_control(self, size: int, kind: str = "ack", payload=None):
-        """Lean out-of-band datagram: kernel send cost + one wire frame."""
-        self._check_connected()
-        stack: TcpStack = self.stack
-        yield from stack.kernel.use(stack.model.sender_time(size))
-        stack._transmit(
-            self.peer_host, size,
-            CtrlDatagram(dst_ep=self.peer_ep, kind=kind, size=size,
-                         payload=payload),
-        )
-        self.bytes_sent += size
-
     # -- receive plumbing (called from the stack's rx daemon) ---------------------------
 
     def _on_unit(self, unit: DataUnit) -> None:
@@ -153,11 +112,7 @@ class TcpSocket(BaseSocket):
         # receive buffer (modeling an application actively in recv();
         # end-to-end pacing of slow consumers is the runtime's job —
         # DataCutter's acknowledgment protocol in this library).
-        if self.peer_ep is not None:
-            peer = self.stack._peer_endpoint(self.peer_host, self.peer_ep)
-            if peer is not None:
-                ev = peer._window.put(unit.wnd)
-                ev.defused = True
+        self.stack._return_window(self.peer_host, self.peer_ep, unit.wnd)
         if unit.is_last:
             assert self._rx_got == unit.total_size, (
                 f"reassembly mismatch: got {self._rx_got}, "
@@ -173,19 +128,12 @@ class TcpSocket(BaseSocket):
             msg.msg_id = unit.msg_id
             self._deliver(msg)
 
-    # -- close ------------------------------------------------------------------------
 
-    def _do_close(self) -> None:
-        if self.peer_host is not None and self.peer_ep is not None:
-            self.stack._transmit(
-                self.peer_host, CTRL_BYTES, FinPacket(dst_ep=self.peer_ep)
-            )
-
-
-class TcpStack:
+class TcpStack(StackBase):
     """Per-host kernel TCP instance bound to one switch fabric."""
 
     tag = "tcp"
+    socket_cls = TcpSocket
 
     def __init__(
         self,
@@ -195,154 +143,60 @@ class TcpStack:
         window: int = 256 * 1024,
         max_unit: int = 64 * 1024,
     ) -> None:
-        self.host = host
-        self.sim = host.sim
-        self.switch = switch
-        self.model = model
         self.window = int(window)
         self.max_unit = int(max_unit)
-        self.port = switch.port(host.name)
+        super().__init__(host, switch, model)
         #: The serialized kernel network path of this host.
         self.kernel = Resource(self.sim, 1, name=f"{host.name}.tcp.kernel")
-        self._listeners: Dict[int, ListenerSocket] = {}
-        self._endpoints: Dict[int, TcpSocket] = {}
-        self._ep_counter = itertools.count(1)
-        self._port_counter = itertools.count(EPHEMERAL_BASE)
-        self._rx_q: Store = Store(self.sim, name=f"{host.name}.tcp.rxq")
-        demux_for(host, self.port, switch.name).register(self.tag, self._on_tx)
-        self.sim.process(self._rx_daemon(), name=f"{host.name}.tcp.rx")
-        host.attach_nic(f"tcp.{switch.name}", self)
-        # Fabric-wide stack registry, used for window return (see
-        # _peer_endpoint).
-        switch.__dict__.setdefault("_tcp_stacks", {})[host.name] = self
 
-    # -- public API --------------------------------------------------------------------
+    # -- kernel-path costs --------------------------------------------------------------
+    # (These run once per segment; they charge kernel.use directly
+    # rather than through a helper to keep generator nesting flat.)
 
-    def socket(self) -> TcpSocket:
-        """A fresh unconnected socket on this host."""
-        return TcpSocket(self)
-
-    def listen(self, port: int) -> ListenerSocket:
-        """Bind a listener to *port* on this host."""
-        if port in self._listeners:
-            raise AddressError(f"{self.host.name}:{port} already bound")
-        listener = ListenerSocket(self, (self.host.name, port))
-        self._listeners[port] = listener
-        return listener
-
-    def _unbind(self, address: Address) -> None:
-        self._listeners.pop(address[1], None)
-
-    # -- wire plumbing --------------------------------------------------------------------
-
-    def _transmit(self, dst_host: str, size: int, payload) -> None:
-        self.port.uplink.send(
-            Transmission(
-                dst=dst_host,
-                service_time=self.model.wire_unit_service(size),
-                propagation=self.model.l_wire,
-                payload=payload,
-                size=size,
-                tag=self.tag,
-            )
-        )
-
-    def _on_tx(self, tx: Transmission) -> None:
-        """Demux handler: queue everything for the serialized rx daemon."""
-        ev = self._rx_q.put(tx)
-        ev.defused = True
-
-    def _rx_daemon(self):
-        """The host's receive path: interrupts + segment processing,
-        strictly serialized (capacity-1 kernel)."""
-        while True:
-            tx: Transmission = yield self._rx_q.get()
-            pkt = tx.payload
-            if isinstance(pkt, DataUnit):
-                yield from self.kernel.use(self.model.receiver_time(pkt.size))
-                ep = self._endpoints.get(pkt.dst_ep)
-                if ep is not None and not ep.closed:
-                    ep._on_unit(pkt)
-                elif ep is not None:
-                    # Data for a closed endpoint is discarded (as a
-                    # reset would), but the window bytes still return so
-                    # an in-flight sender drains instead of deadlocking.
-                    peer = self._peer_endpoint(ep.peer_host, ep.peer_ep)
-                    if peer is not None:
-                        ev = peer._window.put(pkt.wnd)
-                        ev.defused = True
-            elif isinstance(pkt, CtrlDatagram):
-                yield from self.kernel.use(self.model.receiver_time(pkt.size))
-                ep = self._endpoints.get(pkt.dst_ep)
-                if ep is not None and not ep.closed:
-                    ep._deliver_control(pkt.kind, pkt.payload, pkt.size)
-            elif isinstance(pkt, SynPacket):
-                yield from self.kernel.use(self.model.o_recv_msg)
-                self._handle_syn(pkt)
-            elif isinstance(pkt, SynAckPacket):
-                yield from self.kernel.use(self.model.o_recv_msg)
-                self._handle_synack(pkt)
-            elif isinstance(pkt, FinPacket):
-                yield from self.kernel.use(self.model.o_recv_msg)
-                ep = self._endpoints.get(pkt.dst_ep)
-                if ep is not None and not ep.closed:
-                    ep._deliver_eof()
-            else:  # pragma: no cover - defensive
-                raise SocketClosedError(f"unknown TCP packet {pkt!r}")
-
-    # -- handshake ----------------------------------------------------------------------
-
-    def _handle_syn(self, pkt: SynPacket) -> None:
-        listener = self._listeners.get(pkt.dst_port)
-        if listener is None or listener.closed:
-            self._transmit(
-                pkt.src_host, CTRL_BYTES,
-                SynAckPacket(dst_ep=pkt.src_ep, src_host=self.host.name,
-                             src_ep=0, accepted=False),
-            )
-            return
-        server = TcpSocket(self)
-        server.connected = True
-        server.peer_host = pkt.src_host
-        server.peer_ep = pkt.src_ep
-        server.local_address = (self.host.name, pkt.dst_port)
-        server.peer_address = (pkt.src_host, -1)
-        listener._enqueue(server)
-        self._transmit(
-            pkt.src_host, CTRL_BYTES,
-            SynAckPacket(dst_ep=pkt.src_ep, src_host=self.host.name,
-                         src_ep=server.ep_id, accepted=True,
-                         local_port=pkt.dst_port),
-        )
-
-    def _handle_synack(self, pkt: SynAckPacket) -> None:
-        ep = self._endpoints.get(pkt.dst_ep)
-        if ep is None or ep._handshake is None:
-            return
-        if pkt.accepted:
-            ep.peer_ep = pkt.src_ep
-            ep._handshake.succeed(True)
+    def _charge_send(self, nbytes: Optional[int]) -> Generator:
+        if nbytes is None:  # bare control op (SYN): per-message cost only
+            cost, op = self.model.o_send_msg, "send-ctl"
         else:
-            ep._handshake.succeed(False)
+            cost, op = self.model.sender_time(nbytes), "send"
+        if self.tracer.enabled:
+            self.tracer.emit("tcp.kernel", host=self.host.name, op=op, cost=cost)
+        yield from self.kernel.use(cost)
 
-    # -- helpers --------------------------------------------------------------------------
+    def _charge_rx(self, pkt) -> Generator:
+        if isinstance(pkt, (DataUnit, ControlDatagram)):
+            cost, op = self.model.receiver_time(pkt.size), "recv"
+        else:  # SYN / SYN-ACK / FIN: interrupt + per-message cost only
+            cost, op = self.model.o_recv_msg, "recv-ctl"
+        if self.tracer.enabled:
+            self.tracer.emit("tcp.kernel", host=self.host.name, op=op, cost=cost)
+        yield from self.kernel.use(cost)
 
-    def _new_ep_id(self) -> int:
-        return next(self._ep_counter)
+    # -- data plane ---------------------------------------------------------------------
 
-    def _ephemeral_port(self) -> int:
-        return next(self._port_counter)
+    def _route_data(self, pkt) -> None:
+        if not isinstance(pkt, DataUnit):  # pragma: no cover - defensive
+            super()._route_data(pkt)
+            return
+        ep = self._endpoints.get(pkt.dst_ep)
+        if ep is not None and not ep.closed:
+            ep._on_unit(pkt)
+        elif ep is not None:
+            # Data for a closed endpoint is discarded (as a reset
+            # would), but the window bytes still return so an in-flight
+            # sender drains instead of deadlocking.
+            self._return_window(ep.peer_host, ep.peer_ep, pkt.wnd)
 
-    def _peer_endpoint(self, host_name: str, ep_id: int) -> Optional[TcpSocket]:
-        """Direct (zero-latency) access to a remote endpoint for window
-        return; see the module docstring for why this is acceptable."""
-        stacks = getattr(self.switch, "_tcp_stacks", None)
-        if stacks is None:
-            return None
-        stack = stacks.get(host_name)
-        if stack is None:
-            return None
-        return stack._endpoints.get(ep_id)
+    def _return_window(
+        self, peer_host: Optional[str], peer_ep: Optional[int], amount: int
+    ) -> None:
+        """Flow-control return hook: grant *amount* window bytes back to
+        the sending endpoint (direct access; ACK latency not modeled)."""
+        if peer_host is None or peer_ep is None:
+            return
+        peer = self._peer_endpoint(peer_host, peer_ep)
+        if peer is not None:
+            ev = peer._window.put(amount)
+            ev.defused = True
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<TcpStack host={self.host.name!r} eps={len(self._endpoints)}>"

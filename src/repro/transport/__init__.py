@@ -1,0 +1,42 @@
+"""Shared transport core: the pluggable stack base and its registry.
+
+``StackBase`` owns the per-host machinery every transport needs
+(address/port registry, rx daemon, handshake, control datagrams, trace
+points); ``register_transport`` makes a new backend selectable by name
+through :class:`~repro.sockets.factory.ProtocolAPI` without factory
+edits.  See DESIGN.md section 7 and docs/API.md.
+"""
+
+from repro.transport.base import (
+    CTRL_BYTES,
+    ConnectReply,
+    ConnectRequest,
+    ControlDatagram,
+    EndpointSocket,
+    Shutdown,
+    StackBase,
+)
+from repro.transport.registry import (
+    TransportSpec,
+    get_transport,
+    register_transport,
+    temporary_transport,
+    transport_names,
+    unregister_transport,
+)
+
+__all__ = [
+    "CTRL_BYTES",
+    "ConnectRequest",
+    "ConnectReply",
+    "Shutdown",
+    "ControlDatagram",
+    "StackBase",
+    "EndpointSocket",
+    "TransportSpec",
+    "register_transport",
+    "unregister_transport",
+    "get_transport",
+    "transport_names",
+    "temporary_transport",
+]

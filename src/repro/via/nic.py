@@ -32,6 +32,7 @@ from repro.net.calibration import VIA_CLAN
 from repro.net.demux import demux_for
 from repro.net.model import ProtocolCostModel
 from repro.sim import Event, Store
+from repro.sim.trace import NULL_TRACER
 from repro.via.descriptors import Descriptor
 from repro.via.memory import MemoryRegistry
 from repro.via.vi import VI_CONNECTED, VI_IDLE, VirtualInterface
@@ -139,6 +140,7 @@ class ViaNic:
         #: Demux tag: distinct per cost model so a raw-VIA NIC and a
         #: SocketVIA NIC can coexist on one host/fabric.
         self.tag = tag or f"{self.tag_prefix}.{model.name}"
+        self.tracer = getattr(host, "tracer", NULL_TRACER)
         self.port = switch.port(host.name)
         self.memory = MemoryRegistry(self.sim, name=f"{host.name}.viamem")
         self._vis: Dict[int, VirtualInterface] = {}

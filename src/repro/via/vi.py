@@ -109,6 +109,10 @@ class VirtualInterface:
         self.nic.memory.check(desc.memory, desc.length)
         desc.status = DESC_POSTED
         self.sends_posted += 1
+        if self.nic.tracer.enabled:
+            self.nic.tracer.emit(
+                "via.doorbell", vi=self.vi_id, size=desc.length, op="send"
+            )
         yield from self.nic.host.cpu.use(
             self.nic.model.host_send_time(desc.length)
         )
@@ -138,6 +142,11 @@ class VirtualInterface:
         self.nic.memory.check(desc.memory, desc.length)
         desc.status = DESC_POSTED
         self.sends_posted += 1
+        if self.nic.tracer.enabled:
+            self.nic.tracer.emit(
+                "via.doorbell", vi=self.vi_id, size=desc.length,
+                op="rdma-write",
+            )
         yield from self.nic.host.cpu.use(
             self.nic.model.host_send_time(desc.length)
         )
@@ -163,6 +172,10 @@ class VirtualInterface:
         desc.status = DESC_POSTED
         desc.length = length
         self.sends_posted += 1
+        if self.nic.tracer.enabled:
+            self.nic.tracer.emit(
+                "via.doorbell", vi=self.vi_id, size=length, op="rdma-read"
+            )
         # Only the doorbell costs host time; the transfer is NIC-to-NIC.
         yield from self.nic.host.cpu.use(self.nic.model.o_send_msg)
         self.nic._transmit_rdma_read(self, desc, remote)

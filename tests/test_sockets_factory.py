@@ -3,11 +3,18 @@
 import pytest
 
 from repro.cluster import Cluster
-from repro.errors import NetworkError
+from repro.errors import NetworkError, TopologyError
 from repro.net import TCP_CLAN_LANE, TCP_FAST_ETHERNET, get_model
 from repro.sockets import PROTOCOLS, ProtocolAPI
 from repro.sockets.socketvia import SocketViaStack
 from repro.tcp import TcpStack
+from repro.transport import (
+    StackBase,
+    register_transport,
+    temporary_transport,
+    unregister_transport,
+)
+from repro.udp.stack import UdpStack
 
 
 @pytest.fixture
@@ -21,11 +28,24 @@ def cluster():
 
 class TestProtocolSelection:
     def test_known_protocols(self):
-        assert set(PROTOCOLS) == {"tcp", "socketvia", "tcp-fe"}
+        assert {"tcp", "socketvia", "tcp-fe", "udp"} <= set(PROTOCOLS)
+
+    def test_protocols_view_matches_registry(self):
+        stack_cls, fabric = PROTOCOLS["tcp"]
+        assert stack_cls is TcpStack and fabric == "clan"
+        assert PROTOCOLS["udp"] == (UdpStack, "clan")
+        assert len(PROTOCOLS) == len(set(PROTOCOLS))
 
     def test_unknown_protocol_rejected(self, cluster):
-        with pytest.raises(NetworkError):
+        with pytest.raises(NetworkError, match="unknown protocol"):
             ProtocolAPI(cluster, "quic")
+
+    def test_unknown_host_rejected(self, cluster):
+        api = ProtocolAPI(cluster, "tcp")
+        with pytest.raises(TopologyError, match="no host"):
+            api.stack("node99")
+        with pytest.raises(TopologyError):
+            api.listen("node99", 80)
 
     def test_stack_classes(self, cluster):
         assert isinstance(ProtocolAPI(cluster, "tcp").stack("node00"), TcpStack)
@@ -55,6 +75,25 @@ class TestProtocolSelection:
         api = ProtocolAPI(cluster, "tcp")
         host = cluster.host("node00")
         assert api.stack(host) is api.stack("node00")
+
+
+class TestRegistry:
+    def test_double_registration_rejected(self):
+        with pytest.raises(NetworkError, match="already registered"):
+            register_transport("tcp", TcpStack)
+
+    def test_runtime_registration_needs_no_factory_edits(self, cluster):
+        class NullStack(StackBase):
+            tag = "null"
+
+        with temporary_transport("null", NullStack):
+            api = ProtocolAPI(cluster, "null", model=TCP_CLAN_LANE)
+            assert isinstance(api.stack("node00"), NullStack)
+        with pytest.raises(NetworkError):
+            ProtocolAPI(cluster, "null")
+
+    def test_unregister_unknown_is_noop(self):
+        assert unregister_transport("never-was") is False
 
 
 class TestStackSharing:
