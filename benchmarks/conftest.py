@@ -4,7 +4,15 @@ Each benchmark runs one figure driver exactly once (``pedantic`` with a
 single round — these are simulations, not microseconds-scale kernels),
 prints the paper-style table to the real stdout (visible through pytest
 capture, so ``tee bench_output.txt`` records it), and saves it under
-``benchmarks/results/``.
+the scratch results directory.
+
+Output policy (see also ``repro.bench.baselines``): everything written
+here goes to ``REPRO_BENCH_RESULTS``, which this conftest pins to
+``benchmarks/results/`` *next to this file* — deterministic no matter
+which directory pytest is invoked from.  That directory is gitignored
+scratch space; the committed measurements live in
+``benchmarks/baselines/BENCH_*.json`` and are refreshed only via
+``python -m repro bench run <experiment> --update-baseline``.
 
 Set ``REPRO_BENCH_QUICK=1`` to run reduced axes (CI smoke).
 """
@@ -13,7 +21,13 @@ import os
 
 import pytest
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+# Pin the scratch directory before repro.bench.baselines reads the
+# environment, so the pytest benchmarks and `python -m repro bench run`
+# agree on where run output lands.
+RESULTS_DIR = os.environ.setdefault(
+    "REPRO_BENCH_RESULTS",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+)
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
@@ -46,3 +60,25 @@ def quick():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run *fn* exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def check_suite(bench_id, tables):
+    """Assert the suite's shared anchors and claims over *tables*.
+
+    The same extractors back ``python -m repro bench run`` — the pytest
+    benchmarks are thin adapters, not a second implementation of the
+    paper checks.  *tables* maps panel id -> ExperimentTable and may
+    hold any subset of the suite's panels (only their anchors/claims
+    are checked).
+    """
+    from repro.bench.suites import get_suite
+
+    suite = get_suite(bench_id)
+    anchors = suite.anchors(tables)
+    claims = suite.claims(tables)
+    missed = [f"{a.key}: paper {a.paper}, measured {a.measured}"
+              for a in anchors if not a.ok]
+    failed = [f"{c.key}: {c.description}" for c in claims if not c.passed]
+    assert not missed, f"{suite.bench_id} anchors outside tolerance: {missed}"
+    assert not failed, f"{suite.bench_id} claims failed: {failed}"
+    return anchors, claims

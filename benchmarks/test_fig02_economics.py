@@ -1,24 +1,17 @@
 """Figure 2: the message-size economics behind data repartitioning.
 
 The paper's Figure 2 is conceptual; this regenerates it with the
-calibrated transports: U2 << U1, and the two-step latency improvement
-L1 -> L2 (same chunking, faster substrate) -> L3 (repartitioned).
+calibrated transports.  The checks (U2 << U1, the L1 -> L2 -> L3
+latency staircase) are the ``fig02`` suite's shared anchors/claims —
+the same ones ``python -m repro bench run fig02`` records.
 """
 
-from conftest import run_once
+from conftest import check_suite, run_once
 from repro.bench import figures
 
 
 def test_fig2_u1_u2_and_latency_steps(benchmark, emit, quick):
     table = run_once(benchmark, figures.fig2_message_size_economics)
     emit(table)
-    values = dict(zip(table.column("quantity"), table.column("value")))
-    u1 = values["U1 (kernel sockets size for B, bytes)"]
-    u2 = values["U2 (high-perf substrate size for B, bytes)"]
-    l1 = values["L1 = kernel latency at U1 (us)"]
-    l2 = values["L2 = substrate latency at U1 (us)"]
-    l3 = values["L3 = substrate latency at U2 (us)"]
-    # The structure the whole paper turns on.
-    assert u2 < u1 / 4
-    assert l3 < l2 < l1
-    assert l1 / l3 > 10
+    anchors, claims = check_suite("fig02", {"2": table})
+    assert len(anchors) == 5 and len(claims) == 3

@@ -1,46 +1,37 @@
 """Figure 4: latency and bandwidth micro-benchmarks.
 
-Regenerates both panels and checks the paper's endpoints: ~9.5 us
-SocketVIA latency, ~5x TCP/SocketVIA latency gap, and the 795 / 763 /
-510 Mbps bandwidth ordering.
+Regenerates both panels and checks the paper's endpoints — ~9.5 us
+SocketVIA latency, ~5x TCP/SocketVIA latency gap, the 795 / 763 / 510
+Mbps bandwidth ordering — through the ``fig04`` suite's shared
+anchor/claim extractors (one implementation with
+``python -m repro bench run fig04``).
 """
 
-import pytest
-
-from conftest import run_once
+from conftest import check_suite, run_once
 from repro.bench import figures
-from repro.net import PAPER_MICROBENCH
 
 
 def test_fig4a_latency(benchmark, emit, quick):
     sizes = [4, 256, 4096] if quick else None
     table = run_once(benchmark, figures.fig4a_latency, sizes=sizes)
     emit(table)
-    row4 = table.rows[0]
-    via, sv, tcp = row4[1], row4[2], row4[3]
-    assert sv == pytest.approx(
-        PAPER_MICROBENCH["socketvia_latency_4b_us"], rel=0.05
-    )
-    assert tcp / sv == pytest.approx(
-        PAPER_MICROBENCH["tcp_latency_over_socketvia"], rel=0.10
-    )
-    assert via < sv < tcp
-    # Latency grows with message size for every series.
-    for col in ("VIA", "SocketVIA", "TCP"):
-        vals = table.column(col)
-        assert vals == sorted(vals)
+    anchors, claims = check_suite("fig04", {"4a": table})
+    assert {a.key for a in anchors} == {
+        "socketvia_latency_4b_us", "tcp_over_socketvia_latency",
+        "via_latency_4b_us",
+    }
+    assert {c.key for c in claims} == {"latency_ordering", "latency_monotone"}
 
 
 def test_fig4b_bandwidth(benchmark, emit, quick):
     sizes = [2048, 16384, 65536] if quick else None
     table = run_once(benchmark, figures.fig4b_bandwidth, sizes=sizes)
     emit(table)
-    last = table.rows[-1]
-    via, sv, tcp = last[1], last[2], last[3]
-    assert via == pytest.approx(PAPER_MICROBENCH["via_peak_mbps"], rel=0.05)
-    assert sv == pytest.approx(PAPER_MICROBENCH["socketvia_peak_mbps"], rel=0.05)
-    assert tcp == pytest.approx(PAPER_MICROBENCH["tcp_peak_mbps"], rel=0.05)
-    # The U2 << U1 structure: SocketVIA near peak at 2 KB, TCP far below.
-    idx2k = table.column("msg_bytes").index(2048)
-    assert table.rows[idx2k][2] > 0.9 * sv
-    assert table.rows[idx2k][3] < 0.75 * tcp
+    anchors, claims = check_suite("fig04", {"4b": table})
+    assert {a.key for a in anchors} == {
+        "via_peak_mbps", "socketvia_peak_mbps", "tcp_peak_mbps",
+        "socketvia_2k_fraction_of_peak", "tcp_2k_fraction_of_peak",
+    }
+    assert {c.key for c in claims} == {
+        "socketvia_near_peak_at_2k", "tcp_far_from_peak_at_2k",
+    }

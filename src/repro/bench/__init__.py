@@ -1,0 +1,59 @@
+"""The measurement layer: benchmarks, baselines, and generated docs.
+
+Submodules
+----------
+``figures`` / ``microbench``
+    The experiment drivers — one function per paper figure.
+``suites``
+    What the harness runs and how a run is judged (anchors, claims).
+``runner`` / ``schema`` / ``baselines``
+    Execute a suite, capture it as a schema-versioned
+    ``BENCH_<experiment>.json`` record, and manage the committed
+    baselines under ``benchmarks/baselines/``.
+``comparator``
+    Regression gate: diff a run against its baseline with tolerance
+    bands (``pass``/``warn``/``fail``).
+``report``
+    Regenerate ``docs/EXPERIMENTS_GENERATED.md`` and the marked tables
+    in ``EXPERIMENTS.md`` from the committed records.
+
+The CLI front end is ``python -m repro bench run|compare|report|list``;
+the pytest benchmarks under ``benchmarks/`` are thin adapters over the
+same suites.
+"""
+
+from repro.bench.comparator import Comparison, MetricDiff, Tolerance, compare_records
+from repro.bench.records import ExperimentTable, fmt, ratio
+from repro.bench.runner import TraceAggregator, run_experiment
+from repro.bench.schema import SCHEMA_VERSION, BenchRecord, SchemaError
+from repro.bench.suites import (
+    FIGURES,
+    SUITES,
+    Anchor,
+    BenchSuite,
+    Claim,
+    get_suite,
+    suite_names,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "fmt",
+    "ratio",
+    "BenchRecord",
+    "SchemaError",
+    "SCHEMA_VERSION",
+    "Anchor",
+    "Claim",
+    "BenchSuite",
+    "SUITES",
+    "FIGURES",
+    "get_suite",
+    "suite_names",
+    "run_experiment",
+    "TraceAggregator",
+    "Tolerance",
+    "MetricDiff",
+    "Comparison",
+    "compare_records",
+]

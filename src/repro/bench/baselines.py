@@ -1,0 +1,94 @@
+"""Where benchmark records live on disk.
+
+Two directories, one policy:
+
+* ``benchmarks/baselines/`` — the **committed** reference records
+  (``BENCH_<experiment>.json``), regenerated intentionally via
+  ``python -m repro bench run <exp> --update-baseline``;
+* ``benchmarks/results/`` — **scratch** output of local runs and the
+  pytest benchmarks; gitignored, safe to delete.
+
+Both resolve relative to the current working directory (the repo root
+in every documented workflow) and can be pinned with the
+``REPRO_BENCH_BASELINES`` / ``REPRO_BENCH_RESULTS`` environment
+variables — the benchmarks' ``conftest.py`` sets the latter to its own
+file-relative path so pytest output lands in the same place no matter
+where pytest is invoked from.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.bench.schema import BenchRecord
+
+__all__ = [
+    "baseline_dir",
+    "results_dir",
+    "record_path",
+    "discover",
+    "load_record",
+    "store_record",
+    "load_all",
+]
+
+_PREFIX = "BENCH_"
+_SUFFIX = ".json"
+
+
+def baseline_dir(override: Optional[str] = None) -> str:
+    """The committed-baseline directory (override > env > default)."""
+    return (override
+            or os.environ.get("REPRO_BENCH_BASELINES")
+            or os.path.join("benchmarks", "baselines"))
+
+
+def results_dir(override: Optional[str] = None) -> str:
+    """The scratch-results directory (override > env > default)."""
+    return (override
+            or os.environ.get("REPRO_BENCH_RESULTS")
+            or os.path.join("benchmarks", "results"))
+
+
+def record_path(directory: str, experiment: str) -> str:
+    """``{directory}/BENCH_{experiment}.json``."""
+    return os.path.join(directory, f"{_PREFIX}{experiment}{_SUFFIX}")
+
+
+def discover(directory: str) -> Dict[str, str]:
+    """Experiment id -> path for every ``BENCH_*.json`` in *directory*
+    (empty when the directory does not exist)."""
+    if not os.path.isdir(directory):
+        return {}
+    found = {}
+    for name in sorted(os.listdir(directory)):
+        if name.startswith(_PREFIX) and name.endswith(_SUFFIX):
+            exp = name[len(_PREFIX):-len(_SUFFIX)]
+            found[exp] = os.path.join(directory, name)
+    return found
+
+
+def load_record(directory: str, experiment: str) -> BenchRecord:
+    """Load one experiment's record (FileNotFoundError when absent)."""
+    return BenchRecord.load(record_path(directory, experiment))
+
+
+def store_record(record: BenchRecord, directory: str) -> str:
+    """Write *record* into *directory* (created if needed); returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    return record.save(record_path(directory, record.experiment))
+
+
+def load_all(directory: str, experiments: Optional[List[str]] = None) -> List[BenchRecord]:
+    """Load every (or the named) records from *directory*, sorted by id."""
+    found = discover(directory)
+    names = sorted(found) if experiments is None else experiments
+    records = []
+    for exp in names:
+        if exp not in found:
+            raise FileNotFoundError(
+                f"no {_PREFIX}{exp}{_SUFFIX} in {directory!r} "
+                f"(have: {sorted(found) or 'none'})")
+        records.append(BenchRecord.load(found[exp]))
+    return records

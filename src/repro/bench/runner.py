@@ -1,0 +1,144 @@
+"""Execute benchmark suites and persist their records.
+
+:func:`run_experiment` runs every panel of one suite under a live
+trace subscription (the permanent trace points threaded through the
+stack in PR 1), aggregates per-kind / per-layer event counts and
+time-in-layer on the fly — no ring buffer, so arbitrarily long runs
+cost O(1) memory — extracts the suite's anchors and claims, and wraps
+everything in a schema-versioned :class:`~repro.bench.schema.BenchRecord`.
+
+The drivers themselves are deterministic, so two runs of the same
+experiment at the same tree produce identical records except for the
+``wall_time_s`` / ``git_sha`` provenance fields (which the comparator
+ignores).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.records import ExperimentTable
+from repro.bench.schema import SCHEMA_VERSION, BenchRecord
+from repro.bench.suites import BenchSuite, get_suite
+from repro.sim.stats import Summary
+from repro.sim.trace import TraceRecord, Tracer, layer_of, tracing
+
+__all__ = ["TraceAggregator", "run_experiment", "git_sha"]
+
+#: Trace fields that carry an instrumented duration (seconds).  A
+#: record contributes the first one it has to its kind's time bucket:
+#: ``cost`` (kernel charges), ``elapsed`` (DataCutter units of work),
+#: ``latency`` (socket receive completions).
+_DURATION_FIELDS = ("cost", "elapsed", "latency")
+
+
+class TraceAggregator:
+    """Streaming per-kind counter: events and summed instrumented time.
+
+    Subscribed to a :class:`~repro.sim.trace.Tracer` with the match-all
+    kind (``""``), so it sees every record without the tracer's ring
+    buffer (bounded memory regardless of run length).
+    """
+
+    def __init__(self) -> None:
+        self._events: Dict[str, int] = {}
+        self._times: Dict[str, List[float]] = {}
+
+    def __call__(self, rec: TraceRecord) -> None:
+        self._events[rec.kind] = self._events.get(rec.kind, 0) + 1
+        for f in _DURATION_FIELDS:
+            value = rec.fields.get(f)
+            if value is not None:
+                self._times.setdefault(rec.kind, []).append(float(value))
+                break
+
+    def kinds(self) -> Dict[str, Dict[str, float]]:
+        """Per-kind ``{"events": n, "time_s": t}`` (t = 0 when untimed)."""
+        out = {}
+        for kind in sorted(self._events):
+            s = Summary.of(self._times.get(kind, ()))
+            out[kind] = {"events": self._events[kind],
+                         "time_s": s.total}
+        return out
+
+    def layers(self) -> Dict[str, Dict[str, float]]:
+        """Per-layer aggregate of :meth:`kinds` via the trace catalog."""
+        out: Dict[str, Dict[str, float]] = {}
+        for kind, stats in self.kinds().items():
+            bucket = out.setdefault(layer_of(kind),
+                                    {"events": 0, "time_s": 0.0})
+            bucket["events"] += stats["events"]
+            bucket["time_s"] += stats["time_s"]
+        return out
+
+
+def git_sha() -> str:
+    """Short sha of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def run_experiment(
+    bench_id: str,
+    quick: bool = False,
+    panels: Optional[Iterable[str]] = None,
+    progress=None,
+) -> BenchRecord:
+    """Run one suite and return its :class:`BenchRecord`.
+
+    Parameters
+    ----------
+    bench_id:
+        Suite id (``fig04``; ``4`` and ``fig4`` also resolve).
+    quick:
+        Reduced axes — the CI smoke variant.  Recorded in the output so
+        a quick run is never compared against a full baseline silently.
+    panels:
+        Subset of the suite's panels to run (default: all of them).
+    progress:
+        Optional ``fn(message: str)`` called before each panel.
+    """
+    suite: BenchSuite = get_suite(bench_id)
+    selected = tuple(panels) if panels is not None else suite.panels
+    unknown = [p for p in selected if p not in suite.panels]
+    if unknown:
+        raise KeyError(
+            f"{suite.bench_id} has no panels {unknown}; have {list(suite.panels)}")
+
+    from repro.bench.suites import FIGURES
+
+    agg = TraceAggregator()
+    tracer = Tracer()
+    tracer.subscribe("", agg)
+    tables: Dict[str, ExperimentTable] = {}
+    start = time.perf_counter()
+    with tracing(tracer, record=False):
+        for panel in selected:
+            if progress is not None:
+                progress(f"running {suite.bench_id} panel {panel} "
+                         f"({'quick' if quick else 'full'} axes)")
+            tables[panel] = FIGURES[panel](quick)
+    wall = time.perf_counter() - start
+
+    return BenchRecord(
+        experiment=suite.bench_id,
+        title=suite.title,
+        tables={p: t.to_dict() for p, t in tables.items()},
+        anchors=[a.to_dict() for a in suite.anchors(tables)],
+        claims=[c.to_dict() for c in suite.claims(tables)],
+        layers=agg.layers(),
+        kinds=agg.kinds(),
+        git_sha=git_sha(),
+        seed=None,
+        quick=quick,
+        wall_time_s=round(wall, 3),
+        schema_version=SCHEMA_VERSION,
+    )

@@ -1,0 +1,473 @@
+"""Benchmark suite definitions: figures, anchors, and claims.
+
+This module is the single source of truth for *what* the harness runs
+and *how* a run is judged:
+
+* :data:`FIGURES` — one callable per paper figure panel (moved here
+  from the CLI so ``python -m repro figure``, ``python -m repro bench``
+  and the pytest benchmarks all execute the same drivers);
+* :class:`Anchor` — a scalar metric extracted from the result tables,
+  optionally tied to a number the paper publishes (with a relative
+  tolerance);
+* :class:`Claim` — a structural pass/fail statement the paper makes
+  (orderings, monotonicity, crossovers);
+* :class:`BenchSuite` — groups the panels of one experiment
+  (``fig04`` = panels 4a + 4b) with its anchor/claim extractors.
+
+The pytest benchmarks under ``benchmarks/`` are thin adapters over
+these extractors, and ``repro.bench.runner`` persists their output —
+one implementation, two front ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.records import ExperimentTable, ratio
+
+__all__ = [
+    "FIGURES",
+    "RUNTIME_HINT",
+    "Anchor",
+    "Claim",
+    "BenchSuite",
+    "SUITES",
+    "get_suite",
+    "suite_names",
+]
+
+
+def _figures() -> Dict[str, Callable]:
+    from repro.bench import figures as f
+
+    return {
+        "2": lambda quick: f.fig2_message_size_economics(),
+        "4a": lambda quick: f.fig4a_latency(
+            sizes=[4, 256, 4096] if quick else None),
+        "4b": lambda quick: f.fig4b_bandwidth(
+            sizes=[2048, 16384, 65536] if quick else None),
+        "7a": lambda quick: f.fig7_update_rate_guarantee(
+            0.0, rates=[4.0, 3.25, 2.0] if quick else None,
+            frames=2 if quick else 3),
+        "7b": lambda quick: f.fig7_update_rate_guarantee(
+            18.0, rates=[3.25, 2.0] if quick else None,
+            frames=2 if quick else 3),
+        "8a": lambda quick: f.fig8_latency_guarantee(
+            0.0, bounds_us=[1000, 400, 100] if quick else None,
+            frames=2 if quick else 3),
+        "8b": lambda quick: f.fig8_latency_guarantee(
+            18.0, bounds_us=[1000, 400, 200] if quick else None,
+            frames=2 if quick else 3),
+        "9a": lambda quick: f.fig9_query_mix(
+            0.0, fractions=[0.0, 0.6, 1.0] if quick else None,
+            n_queries=6 if quick else 10),
+        "9b": lambda quick: f.fig9_query_mix(
+            18.0, fractions=[0.0, 1.0] if quick else None,
+            n_queries=6 if quick else 10),
+        "10": lambda quick: f.fig10_rr_reaction(
+            factors=[2, 10] if quick else None,
+            total_bytes=(4 if quick else 8) * 1024 * 1024),
+        "11": lambda quick: f.fig11_dd_heterogeneity(
+            probabilities=[0.1, 0.9] if quick else None,
+            factors=[2, 8] if quick else None,
+            total_bytes=(2 if quick else 8) * 1024 * 1024),
+    }
+
+
+class _LazyFigures(dict):
+    """Figure registry that defers the (heavy) driver imports."""
+
+    def _fill(self) -> None:
+        if not super().__len__():
+            super().update(_figures())
+
+    def __getitem__(self, key):
+        self._fill()
+        return super().__getitem__(key)
+
+    def __contains__(self, key):
+        self._fill()
+        return super().__contains__(key)
+
+    def __iter__(self):
+        self._fill()
+        return super().__iter__()
+
+    def __len__(self):
+        self._fill()
+        return super().__len__()
+
+    def keys(self):
+        self._fill()
+        return super().keys()
+
+    def items(self):
+        self._fill()
+        return super().items()
+
+
+#: Panel id -> driver callable taking one ``quick`` flag.
+FIGURES: Dict[str, Callable] = _LazyFigures()
+
+#: Rough full-axis runtimes, shown by the ``list`` commands.
+RUNTIME_HINT = {
+    "2": "instant", "4a": "~1 min", "4b": "~3 min", "7a": "~3 min",
+    "7b": "~2.5 min", "8a": "~30 s", "8b": "~25 s", "9a": "~1 min",
+    "9b": "~1 min", "10": "~3 s", "11": "~11 s",
+}
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One scalar metric extracted from a run.
+
+    ``paper`` and ``rel_tol`` are set when the paper publishes the
+    number; :attr:`ok` then states whether the measurement lands within
+    the tolerance band.  Anchors without a paper value are tracked for
+    baseline regressions only.
+    """
+
+    key: str
+    description: str
+    measured: Optional[float]
+    group: str  # panel id the metric comes from (e.g. "4a")
+    unit: str = ""
+    paper: Optional[float] = None
+    rel_tol: Optional[float] = None
+
+    @property
+    def delta_rel(self) -> Optional[float]:
+        """Relative deviation from the paper value (None when untied)."""
+        if self.paper in (None, 0) or self.measured is None:
+            return None
+        return (self.measured - self.paper) / abs(self.paper)
+
+    @property
+    def ok(self) -> bool:
+        """Within tolerance of the paper value (True when untied)."""
+        if self.paper is None or self.rel_tol is None:
+            return self.measured is not None
+        if self.measured is None:
+            return False
+        return abs(self.measured - self.paper) <= self.rel_tol * abs(self.paper)
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "description": self.description,
+            "measured": self.measured,
+            "group": self.group,
+            "unit": self.unit,
+            "paper": self.paper,
+            "rel_tol": self.rel_tol,
+            "delta_rel": self.delta_rel,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One structural statement from the paper, checked against a run."""
+
+    key: str
+    description: str
+    passed: bool
+    group: str
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "description": self.description,
+            "passed": self.passed,
+            "group": self.group,
+        }
+
+
+Extractor = Callable[[Dict[str, ExperimentTable]], List]
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """One benchmark experiment: its panels and how to judge a run."""
+
+    bench_id: str
+    title: str
+    panels: Tuple[str, ...]
+    anchors: Extractor = field(default=lambda tables: [])
+    claims: Extractor = field(default=lambda tables: [])
+
+    @property
+    def runtime_hint(self) -> str:
+        return " + ".join(RUNTIME_HINT.get(p, "?") for p in self.panels)
+
+
+def _cell(table: ExperimentTable, key_col: str, key, value_col: str):
+    """Table cell lookup by row key; None when the row is absent."""
+    try:
+        idx = table.column(key_col).index(key)
+    except ValueError:
+        return None
+    return table.rows[idx][table.columns.index(value_col)]
+
+
+# ---------------------------------------------------------------------------
+# fig02 — message-size economics
+# ---------------------------------------------------------------------------
+
+
+def _fig02_values(table: ExperimentTable) -> Dict[str, float]:
+    return dict(zip(table.column("quantity"), table.column("value")))
+
+
+def _fig02_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    table = tables.get("2")
+    if table is None:
+        return []
+    v = _fig02_values(table)
+
+    def mk(key, desc, quantity, unit):
+        return Anchor(key, desc, v.get(quantity), group="2", unit=unit)
+
+    return [
+        mk("u1_bytes", "U1: kernel-sockets message size for B",
+           "U1 (kernel sockets size for B, bytes)", "B"),
+        mk("u2_bytes", "U2: high-perf substrate size for B",
+           "U2 (high-perf substrate size for B, bytes)", "B"),
+        mk("l1_us", "L1: kernel latency at U1",
+           "L1 = kernel latency at U1 (us)", "us"),
+        mk("l2_us", "L2: substrate latency at U1",
+           "L2 = substrate latency at U1 (us)", "us"),
+        mk("l3_us", "L3: substrate latency at U2",
+           "L3 = substrate latency at U2 (us)", "us"),
+    ]
+
+
+def _fig02_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    table = tables.get("2")
+    if table is None:
+        return []
+    v = _fig02_values(table)
+    u1 = v["U1 (kernel sockets size for B, bytes)"]
+    u2 = v["U2 (high-perf substrate size for B, bytes)"]
+    l1 = v["L1 = kernel latency at U1 (us)"]
+    l2 = v["L2 = substrate latency at U1 (us)"]
+    l3 = v["L3 = substrate latency at U2 (us)"]
+    return [
+        Claim("u2_much_smaller_than_u1",
+              "U2 << U1 (repartitioning has room to shrink messages)",
+              u2 < u1 / 4, "2"),
+        Claim("latency_staircase",
+              "L3 < L2 < L1 (direct then indirect improvement)",
+              l3 < l2 < l1, "2"),
+        Claim("total_improvement_over_10x",
+              "L1/L3 > 10 (combined improvement exceeds an order of magnitude)",
+              l1 / l3 > 10, "2"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# fig04 — micro-benchmarks (the calibrated anchors)
+# ---------------------------------------------------------------------------
+
+
+def _fig04_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    from repro.net import PAPER_MICROBENCH
+
+    anchors: List[Anchor] = []
+    lat = tables.get("4a")
+    if lat is not None:
+        sv = _cell(lat, "msg_bytes", 4, "SocketVIA")
+        tcp = _cell(lat, "msg_bytes", 4, "TCP")
+        via = _cell(lat, "msg_bytes", 4, "VIA")
+        anchors += [
+            Anchor("socketvia_latency_4b_us", "SocketVIA 4-byte latency",
+                   sv, group="4a", unit="us",
+                   paper=PAPER_MICROBENCH["socketvia_latency_4b_us"],
+                   rel_tol=0.05),
+            Anchor("tcp_over_socketvia_latency",
+                   "TCP / SocketVIA latency ratio (4 B)",
+                   ratio(tcp, sv), group="4a", unit="x",
+                   paper=PAPER_MICROBENCH["tcp_latency_over_socketvia"],
+                   rel_tol=0.10),
+            Anchor("via_latency_4b_us", "raw VIA 4-byte latency",
+                   via, group="4a", unit="us"),
+        ]
+    bw = tables.get("4b")
+    if bw is not None:
+        def peak(col):
+            return _cell(bw, "msg_bytes", 65536, col)
+
+        def at2k(col):
+            return _cell(bw, "msg_bytes", 2048, col)
+
+        anchors += [
+            Anchor("via_peak_mbps", "VIA peak bandwidth (64 KB)",
+                   peak("VIA"), group="4b", unit="Mbps",
+                   paper=PAPER_MICROBENCH["via_peak_mbps"], rel_tol=0.05),
+            Anchor("socketvia_peak_mbps", "SocketVIA peak bandwidth (64 KB)",
+                   peak("SocketVIA"), group="4b", unit="Mbps",
+                   paper=PAPER_MICROBENCH["socketvia_peak_mbps"],
+                   rel_tol=0.05),
+            Anchor("tcp_peak_mbps", "TCP peak bandwidth (64 KB)",
+                   peak("TCP"), group="4b", unit="Mbps",
+                   paper=PAPER_MICROBENCH["tcp_peak_mbps"], rel_tol=0.05),
+            Anchor("socketvia_2k_fraction_of_peak",
+                   "SocketVIA bandwidth at 2 KB / its peak",
+                   ratio(at2k("SocketVIA"), peak("SocketVIA")),
+                   group="4b", unit="frac"),
+            Anchor("tcp_2k_fraction_of_peak",
+                   "TCP bandwidth at 2 KB / its peak",
+                   ratio(at2k("TCP"), peak("TCP")), group="4b", unit="frac"),
+        ]
+    return anchors
+
+
+def _fig04_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    claims: List[Claim] = []
+    lat = tables.get("4a")
+    if lat is not None:
+        via = _cell(lat, "msg_bytes", 4, "VIA")
+        sv = _cell(lat, "msg_bytes", 4, "SocketVIA")
+        tcp = _cell(lat, "msg_bytes", 4, "TCP")
+        claims.append(Claim(
+            "latency_ordering", "VIA < SocketVIA < TCP at 4 bytes",
+            via < sv < tcp, "4a"))
+        monotone = all(
+            lat.column(col) == sorted(lat.column(col))
+            for col in ("VIA", "SocketVIA", "TCP"))
+        claims.append(Claim(
+            "latency_monotone", "latency grows with message size, every series",
+            monotone, "4a"))
+    bw = tables.get("4b")
+    if bw is not None:
+        sv2k = _cell(bw, "msg_bytes", 2048, "SocketVIA")
+        svp = _cell(bw, "msg_bytes", 65536, "SocketVIA")
+        tcp2k = _cell(bw, "msg_bytes", 2048, "TCP")
+        tcpp = _cell(bw, "msg_bytes", 65536, "TCP")
+        claims += [
+            Claim("socketvia_near_peak_at_2k",
+                  "SocketVIA within 10% of peak at 2 KB (U2)",
+                  sv2k > 0.9 * svp, "4b"),
+            Claim("tcp_far_from_peak_at_2k",
+                  "TCP below 75% of peak at 2 KB (needs U1 ~ 16 KB)",
+                  tcp2k < 0.75 * tcpp, "4b"),
+        ]
+    return claims
+
+
+# ---------------------------------------------------------------------------
+# fig10 — round-robin reaction time
+# ---------------------------------------------------------------------------
+
+
+def _fig10_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    from repro.net import PAPER_RESULTS
+
+    table = tables.get("10")
+    if table is None:
+        return []
+    anchors = []
+    for factor, r in zip(table.column("factor"),
+                         table.column("ratio_tcp_over_sv")):
+        anchors.append(Anchor(
+            f"reaction_ratio_factor_{factor}",
+            f"TCP/SocketVIA reaction-time ratio at heterogeneity {factor}",
+            r, group="10", unit="x",
+            paper=PAPER_RESULTS["fig10_reaction_ratio"], rel_tol=0.15))
+    return anchors
+
+
+def _fig10_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    table = tables.get("10")
+    if table is None:
+        return []
+    sv = table.column("SocketVIA")
+    tcp = table.column("TCP")
+    return [
+        Claim("reaction_grows_with_factor",
+              "reaction time grows with the heterogeneity factor",
+              sv == sorted(sv) and tcp == sorted(tcp), "10"),
+        Claim("socketvia_reacts_faster",
+              "SocketVIA reacts faster than TCP at every factor",
+              all(s < t for s, t in zip(sv, tcp)), "10"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# fig11 — demand-driven scheduling under dynamic slowdown
+# ---------------------------------------------------------------------------
+
+
+def _fig11_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    table = tables.get("11")
+    if table is None:
+        return []
+    sv_cols = [c for c in table.columns if c.startswith("SocketVIA")]
+    tcp_cols = [c for c in table.columns if c.startswith("TCP")]
+    close = all(
+        abs(t - s) / s < 0.15
+        for sc, tc in zip(sv_cols, tcp_cols)
+        for s, t in zip(table.column(sc), table.column(tc)))
+    rising = all(
+        table.column(c)[0] < table.column(c)[-1]
+        for c in sv_cols + tcp_cols)
+    return [
+        Claim("tcp_tracks_socketvia",
+              "TCP within 15% of SocketVIA under demand-driven scheduling",
+              close, "11"),
+        Claim("time_rises_with_p_slow",
+              "execution time rises with P(slow), every series",
+              rising, "11"),
+    ]
+
+
+def _no_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    return []
+
+
+def _no_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    return []
+
+
+#: The benchmark experiments, keyed by id (``bench run <id>``).
+SUITES: Dict[str, BenchSuite] = {
+    s.bench_id: s
+    for s in (
+        BenchSuite("fig02", "Message-size economics (Figure 2)",
+                   ("2",), _fig02_anchors, _fig02_claims),
+        BenchSuite("fig04", "Latency / bandwidth micro-benchmarks (Figure 4)",
+                   ("4a", "4b"), _fig04_anchors, _fig04_claims),
+        BenchSuite("fig07", "Partial-update latency under update-rate "
+                   "guarantees (Figure 7)", ("7a", "7b"),
+                   _no_anchors, _no_claims),
+        BenchSuite("fig08", "Updates/s under latency guarantees (Figure 8)",
+                   ("8a", "8b"), _no_anchors, _no_claims),
+        BenchSuite("fig09", "Mixed query types vs response time (Figure 9)",
+                   ("9a", "9b"), _no_anchors, _no_claims),
+        BenchSuite("fig10", "Round-robin reaction time (Figure 10)",
+                   ("10",), _fig10_anchors, _fig10_claims),
+        BenchSuite("fig11", "Demand-driven scheduling under dynamic "
+                   "slowdown (Figure 11)", ("11",),
+                   _no_anchors, _fig11_claims),
+    )
+}
+
+
+def get_suite(bench_id: str) -> BenchSuite:
+    """Look a suite up by id; accepts ``fig04``, ``04``, ``4``, ``fig4``."""
+    key = bench_id.lower()
+    if not key.startswith("fig"):
+        key = "fig" + key
+    digits = key[3:]
+    if digits.isdigit():
+        key = f"fig{int(digits):02d}"
+    if key not in SUITES:
+        raise KeyError(
+            f"unknown bench experiment {bench_id!r}; have {sorted(SUITES)}")
+    return SUITES[key]
+
+
+def suite_names() -> List[str]:
+    """All experiment ids, sorted."""
+    return sorted(SUITES)

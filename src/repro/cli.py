@@ -14,6 +14,10 @@ Commands
     Run a figure (quick axes by default) with cross-layer trace
     recording on and print per-kind counts, the layers covered, and a
     sample of records.
+``bench run|compare|report|list``
+    The benchmark harness: run experiment suites into schema-versioned
+    ``BENCH_<experiment>.json`` records, gate them against the
+    committed baselines, and regenerate the experiment docs.
 ``list``
     List available figures with their runtime class.
 """
@@ -30,47 +34,9 @@ __all__ = ["main"]
 
 
 def _figure_registry() -> Dict[str, Callable]:
-    from repro.bench import figures as f
+    from repro.bench.suites import FIGURES
 
-    return {
-        "2": lambda quick: f.fig2_message_size_economics(),
-        "4a": lambda quick: f.fig4a_latency(
-            sizes=[4, 256, 4096] if quick else None),
-        "4b": lambda quick: f.fig4b_bandwidth(
-            sizes=[2048, 16384, 65536] if quick else None),
-        "7a": lambda quick: f.fig7_update_rate_guarantee(
-            0.0, rates=[4.0, 3.25, 2.0] if quick else None,
-            frames=2 if quick else 3),
-        "7b": lambda quick: f.fig7_update_rate_guarantee(
-            18.0, rates=[3.25, 2.0] if quick else None,
-            frames=2 if quick else 3),
-        "8a": lambda quick: f.fig8_latency_guarantee(
-            0.0, bounds_us=[1000, 400, 100] if quick else None,
-            frames=2 if quick else 3),
-        "8b": lambda quick: f.fig8_latency_guarantee(
-            18.0, bounds_us=[1000, 400, 200] if quick else None,
-            frames=2 if quick else 3),
-        "9a": lambda quick: f.fig9_query_mix(
-            0.0, fractions=[0.0, 0.6, 1.0] if quick else None,
-            n_queries=6 if quick else 10),
-        "9b": lambda quick: f.fig9_query_mix(
-            18.0, fractions=[0.0, 1.0] if quick else None,
-            n_queries=6 if quick else 10),
-        "10": lambda quick: f.fig10_rr_reaction(
-            factors=[2, 10] if quick else None,
-            total_bytes=(4 if quick else 8) * 1024 * 1024),
-        "11": lambda quick: f.fig11_dd_heterogeneity(
-            probabilities=[0.1, 0.9] if quick else None,
-            factors=[2, 8] if quick else None,
-            total_bytes=(2 if quick else 8) * 1024 * 1024),
-    }
-
-#: Rough full-axis runtimes, shown by ``list``.
-_RUNTIME_HINT = {
-    "2": "instant", "4a": "~1 min", "4b": "~3 min", "7a": "~3 min", "7b": "~2.5 min",
-    "8a": "~30 s", "8b": "~25 s", "9a": "~1 min", "9b": "~1 min",
-    "10": "~3 s", "11": "~11 s",
-}
+    return FIGURES
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -115,27 +81,10 @@ def cmd_calibration(_args: argparse.Namespace) -> int:
     return 0
 
 
-#: Trace-point kind prefix -> the architectural layer it instruments.
-_TRACE_LAYERS = {
-    "tcp.": "transport",
-    "udp.": "transport",
-    "via.": "transport",
-    "sockets.": "sockets",
-    "datacutter.": "datacutter",
-    "cluster.": "cluster",
-}
-
-
-def _trace_layer(kind: str) -> str:
-    for prefix, layer in _TRACE_LAYERS.items():
-        if kind.startswith(prefix):
-            return layer
-    return "other"
-
-
 def cmd_trace(args: argparse.Namespace) -> int:
     from collections import Counter
 
+    from repro.sim.trace import layer_of as _trace_layer
     from repro.sim.trace import tracing
 
     registry = _figure_registry()
@@ -179,9 +128,133 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
+    from repro.bench.suites import RUNTIME_HINT
+
     print("figures (python -m repro figure <id>):")
     for fig_id in sorted(_figure_registry()):
-        print(f"  {fig_id:<4} {_RUNTIME_HINT.get(fig_id, '')}")
+        print(f"  {fig_id:<4} {RUNTIME_HINT.get(fig_id, '')}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# bench: the measurement harness
+# ---------------------------------------------------------------------------
+
+
+def _resolve_experiments(names, for_run: bool) -> list:
+    """Map CLI experiment ids to canonical suite ids (exit code 2 on
+    unknown names is handled by the caller catching KeyError)."""
+    from repro.bench.suites import get_suite
+
+    return [get_suite(n).bench_id for n in names]
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import baselines, runner
+
+    try:
+        experiments = _resolve_experiments(args.experiments, for_run=True)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    out_dir = baselines.results_dir(args.results)
+    for exp in experiments:
+        record = runner.run_experiment(exp, quick=args.quick, progress=print)
+        for panel in sorted(record.tables):
+            print()
+            print(record.table(panel).render())
+        bad_anchors = [a for a in record.anchors if not a["ok"]]
+        bad_claims = [c for c in record.claims if not c["passed"]]
+        print(f"\n{exp}: {len(record.anchors)} anchors "
+              f"({len(bad_anchors)} outside paper tolerance), "
+              f"{len(record.claims)} claims "
+              f"({len(bad_claims)} failed), "
+              f"{sum(s['events'] for s in record.layers.values())} trace "
+              f"events in {record.wall_time_s:.1f} s")
+        for a in bad_anchors:
+            print(f"  ANCHOR MISS {a['key']}: paper {a['paper']}, "
+                  f"measured {a['measured']}")
+        for c in bad_claims:
+            print(f"  CLAIM FAILED {c['key']}: {c['description']}")
+        path = baselines.store_record(record, out_dir)
+        print(f"wrote {path}")
+        if args.update_baseline:
+            bpath = baselines.store_record(
+                record, baselines.baseline_dir(args.baselines))
+            print(f"updated baseline {bpath}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench.comparator import Tolerance, compare_dirs
+
+    try:
+        experiments = (_resolve_experiments(args.experiments, for_run=False)
+                       or None)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    tol = Tolerance(rel_warn=args.rel_warn, rel_fail=args.rel_fail)
+    comparisons = compare_dirs(args.results, args.baselines, experiments, tol)
+    if not comparisons:
+        print("nothing to compare: run `python -m repro bench run <experiment>` "
+              "first", file=sys.stderr)
+        return 2
+    worst = "pass"
+    for comp in comparisons:
+        print(comp.render(verbose=args.verbose))
+        if comp.status == "fail":
+            worst = "fail"
+        elif comp.status == "warn" and worst == "pass":
+            worst = "warn"
+    print(f"\nbench compare: {worst.upper()} "
+          f"({len(comparisons)} experiment(s), "
+          f"rel_warn={tol.rel_warn}, rel_fail={tol.rel_fail})")
+    return 1 if worst == "fail" else 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench import baselines, report
+
+    directory = baselines.baseline_dir(args.baselines)
+    try:
+        records = baselines.load_all(directory)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not records:
+        print(f"no BENCH_*.json records in {directory!r}", file=sys.stderr)
+        return 2
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as fh:
+        fh.write(report.generate_document(records))
+    print(f"wrote {args.out} ({len(records)} experiment(s))")
+    if args.experiments_md and os.path.exists(args.experiments_md):
+        with open(args.experiments_md) as fh:
+            text = fh.read()
+        new_text, updated, unmatched = report.update_marked_file(text, records)
+        if new_text != text:
+            with open(args.experiments_md, "w") as fh:
+                fh.write(new_text)
+        print(f"{args.experiments_md}: "
+              f"{len(updated)} marked block(s) regenerated"
+              + (f", {len(unmatched)} without a committed record: "
+                 f"{unmatched}" if unmatched else ""))
+    return 0
+
+
+def cmd_bench_list(_args: argparse.Namespace) -> int:
+    from repro.bench import baselines
+    from repro.bench.suites import SUITES
+
+    have = baselines.discover(baselines.baseline_dir())
+    print("bench experiments (python -m repro bench run <id>):")
+    for bench_id, suite in sorted(SUITES.items()):
+        marker = "baseline" if bench_id in have else "no baseline"
+        print(f"  {bench_id:<6} panels {'+'.join(suite.panels):<6} "
+              f"[{suite.runtime_hint}] ({marker})")
     return 0
 
 
@@ -227,6 +300,58 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list available figures")
     p_list.set_defaults(func=cmd_list)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark harness: run, regression-gate, report"
+    )
+    p_bench.set_defaults(func=lambda args: (p_bench.print_help(), 1)[1])
+    bsub = p_bench.add_subparsers(dest="bench_command")
+
+    pb_run = bsub.add_parser(
+        "run", help="run experiment suites into BENCH_<exp>.json records"
+    )
+    pb_run.add_argument("experiments", nargs="+",
+                        help="suite ids, e.g. fig02 fig04 (also: 4, fig4)")
+    pb_run.add_argument("--quick", action="store_true",
+                        help="reduced axes (recorded in the output)")
+    pb_run.add_argument("--results", metavar="DIR", default=None,
+                        help="output dir (default benchmarks/results)")
+    pb_run.add_argument("--update-baseline", action="store_true",
+                        help="also copy the record into the baseline dir")
+    pb_run.add_argument("--baselines", metavar="DIR", default=None,
+                        help="baseline dir (default benchmarks/baselines)")
+    pb_run.set_defaults(func=cmd_bench_run)
+
+    pb_cmp = bsub.add_parser(
+        "compare", help="diff run records against the committed baselines"
+    )
+    pb_cmp.add_argument("experiments", nargs="*",
+                        help="suites to compare (default: every run record)")
+    pb_cmp.add_argument("--results", metavar="DIR", default=None)
+    pb_cmp.add_argument("--baselines", metavar="DIR", default=None)
+    pb_cmp.add_argument("--rel-warn", type=float, default=0.01,
+                        help="relative delta that starts warning (default 1%%)")
+    pb_cmp.add_argument("--rel-fail", type=float, default=0.05,
+                        help="relative delta that fails the gate (default 5%%)")
+    pb_cmp.add_argument("--verbose", action="store_true",
+                        help="print every compared metric, not just drifts")
+    pb_cmp.set_defaults(func=cmd_bench_compare)
+
+    pb_rep = bsub.add_parser(
+        "report", help="regenerate experiment docs from the baselines"
+    )
+    pb_rep.add_argument("--baselines", metavar="DIR", default=None)
+    pb_rep.add_argument("--out", metavar="FILE",
+                        default="docs/EXPERIMENTS_GENERATED.md",
+                        help="generated document path")
+    pb_rep.add_argument("--experiments-md", metavar="FILE",
+                        default="EXPERIMENTS.md",
+                        help="file whose bench:begin/end blocks to refresh "
+                             "('' skips)")
+    pb_rep.set_defaults(func=cmd_bench_report)
+
+    pb_list = bsub.add_parser("list", help="list bench experiments")
+    pb_list.set_defaults(func=cmd_bench_list)
     return parser
 
 

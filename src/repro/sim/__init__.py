@@ -16,7 +16,7 @@ from repro.sim.monitor import Counter, Histogram, SeriesRecorder, Tally, TimeWei
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Container, PriorityResource, Request, Resource, Store
 from repro.sim.rng import RandomStreams
-from repro.sim.stats import BatchMeans, mser5, trim_warmup
+from repro.sim.stats import BatchMeans, Summary, mser5, trim_warmup
 from repro.sim.trace import NULL_TRACER, TraceRecord, Tracer
 from repro.sim import units
 
@@ -41,6 +41,7 @@ __all__ = [
     "Histogram",
     "SeriesRecorder",
     "BatchMeans",
+    "Summary",
     "trim_warmup",
     "mser5",
     "Tracer",

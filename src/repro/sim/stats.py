@@ -7,18 +7,53 @@ users:
   from one long run, via the method of nonoverlapping batch means;
 * :func:`trim_warmup` — drop an initial transient from a time series;
 * :func:`mser5` — the MSER-5 truncation heuristic for picking the
-  warmup length automatically (White 1997).
+  warmup length automatically (White 1997);
+* :class:`Summary` — five-number roll-up of a finished series (the
+  benchmark harness uses it for per-layer trace accounting).
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as sp_stats
 
-__all__ = ["BatchMeans", "trim_warmup", "mser5"]
+__all__ = ["BatchMeans", "Summary", "trim_warmup", "mser5"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Count/total/mean/min/max of a finished sample series.
+
+    A cheap, JSON-friendly roll-up for reporting — complements the
+    streaming monitors in :mod:`repro.sim.monitor` when the series is
+    already in hand.
+
+    Examples
+    --------
+    >>> Summary.of([2.0, 4.0]).mean
+    3.0
+    >>> Summary.of([]).count
+    0
+    """
+
+    count: int
+    total: float
+    mean: float
+    lo: float
+    hi: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        """Summarize *values* (NaN-safe only in that [] gives zeros)."""
+        vals = [float(v) for v in values]
+        if not vals:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        total = math.fsum(vals)
+        return cls(len(vals), total, total / len(vals), min(vals), max(vals))
 
 
 class BatchMeans:

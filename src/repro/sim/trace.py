@@ -35,7 +35,30 @@ __all__ = [
     "default_tracer",
     "set_default_tracer",
     "tracing",
+    "TRACE_LAYERS",
+    "layer_of",
 ]
+
+#: Trace-point kind prefix -> the architectural layer it instruments.
+#: The CLI ``trace`` command and the benchmark harness both aggregate
+#: per-layer statistics through this one mapping.
+TRACE_LAYERS = {
+    "tcp.": "transport",
+    "udp.": "transport",
+    "via.": "transport",
+    "sockets.": "sockets",
+    "datacutter.": "datacutter",
+    "cluster.": "cluster",
+}
+
+
+def layer_of(kind: str) -> str:
+    """The architectural layer a trace kind belongs to (``"other"`` when
+    the kind matches no catalogued prefix)."""
+    for prefix, layer in TRACE_LAYERS.items():
+        if kind.startswith(prefix):
+            return layer
+    return "other"
 
 
 @dataclass(frozen=True)

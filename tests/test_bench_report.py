@@ -1,0 +1,82 @@
+"""Report writer: byte-stable markdown and marker-block splicing."""
+
+from repro.bench import report
+from tests.test_bench_schema import make_record
+
+
+class TestGeneratedDocument:
+    def test_byte_stable_for_equal_records(self):
+        one = report.generate_document([make_record()])
+        two = report.generate_document([make_record()])
+        assert one == two
+        assert one.endswith("\n")
+
+    def test_contains_all_sections(self):
+        doc = report.generate_document([make_record()])
+        assert "## figxx — demo experiment" in doc
+        assert "### Anchors" in doc
+        assert "### Claims" in doc
+        assert "### Cross-layer trace summary" in doc
+        assert "### Panel X — demo table" in doc
+        assert report.GENERATED_NOTE in doc
+
+    def test_records_sorted_by_experiment(self):
+        a = make_record(experiment="figb")
+        b = make_record(experiment="figa")
+        doc = report.generate_document([a, b])
+        assert doc.index("## figa") < doc.index("## figb")
+
+    def test_dropout_rendered_as_marker(self):
+        doc = report.generate_document([make_record()])
+        assert "| 4096 | -- |" in doc
+
+    def test_anchor_table_shows_paper_delta(self):
+        md = report.anchors_markdown(make_record())
+        assert "47.50 us" in md and "47.43 us" in md
+        assert "-0.15%" in md  # (47.43-47.5)/47.5
+
+    def test_failed_claim_is_loud(self):
+        record = make_record()
+        record.claims[0]["passed"] = False
+        assert "✗ FAILED:" in report.claims_markdown(record)
+
+
+class TestMarkedBlocks:
+    TEXT = ("prose before\n\n"
+            "<!-- bench:begin figxx:X -->\n"
+            "stale table\n"
+            "<!-- bench:end figxx:X -->\n\n"
+            "prose after\n")
+
+    def test_block_replaced_and_prose_kept(self):
+        new, updated, unmatched = report.update_marked_file(
+            self.TEXT, [make_record()])
+        assert updated == ["figxx:X"] and not unmatched
+        assert "stale table" not in new
+        assert "prose before" in new and "prose after" in new
+        assert "| TCP 4-byte latency | 47.50 us | 47.43 us |" in new
+
+    def test_splice_is_idempotent(self):
+        once, _, _ = report.update_marked_file(self.TEXT, [make_record()])
+        twice, _, _ = report.update_marked_file(once, [make_record()])
+        assert once == twice
+
+    def test_unmatched_slug_left_untouched(self):
+        text = self.TEXT.replace("figxx:X", "figzz:Z")
+        new, updated, unmatched = report.update_marked_file(
+            text, [make_record()])
+        assert new == text
+        assert not updated and unmatched == ["figzz:Z"]
+
+    def test_layers_slug(self):
+        text = ("<!-- bench:begin figxx:layers -->\n"
+                "old\n"
+                "<!-- bench:end figxx:layers -->\n")
+        new, updated, _ = report.update_marked_file(text, [make_record()])
+        assert updated == ["figxx:layers"]
+        assert "transport" in new and "old\n<!--" not in new
+
+    def test_text_without_markers_unchanged(self):
+        new, updated, unmatched = report.update_marked_file(
+            "no markers here\n", [make_record()])
+        assert new == "no markers here\n" and not updated and not unmatched

@@ -32,6 +32,66 @@ class TestParser:
         assert "unknown figure" in capsys.readouterr().err
 
 
+class TestBenchCommands:
+    def test_bench_without_subcommand_shows_help(self, capsys):
+        assert main(["bench"]) == 1
+        assert "run" in capsys.readouterr().out
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for bench_id in ("fig02", "fig04", "fig10"):
+            assert bench_id in out
+
+    def test_bench_unknown_experiment(self, capsys):
+        assert main(["bench", "run", "fig99"]) == 2
+        assert "unknown bench experiment" in capsys.readouterr().err
+
+    def test_bench_compare_without_runs(self, tmp_path, capsys):
+        assert main(["bench", "compare",
+                     "--results", str(tmp_path / "r"),
+                     "--baselines", str(tmp_path / "b")]) == 2
+        assert "nothing to compare" in capsys.readouterr().err
+
+    def test_run_compare_report_loop(self, tmp_path, capsys):
+        """The documented workflow, end to end on the instant fig02."""
+        results = str(tmp_path / "results")
+        base = str(tmp_path / "baselines")
+        assert main(["bench", "run", "fig02", "--results", results,
+                     "--update-baseline", "--baselines", base]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_fig02.json" in out and "anchors" in out
+
+        assert main(["bench", "compare", "--results", results,
+                     "--baselines", base]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        generated = tmp_path / "gen.md"
+        assert main(["bench", "report", "--baselines", base,
+                     "--out", str(generated),
+                     "--experiments-md", ""]) == 0
+        text = generated.read_text()
+        assert "fig02" in text and "### Anchors" in text
+
+    def test_compare_catches_injected_regression(self, tmp_path, capsys):
+        import json
+
+        results = str(tmp_path / "results")
+        base = str(tmp_path / "baselines")
+        assert main(["bench", "run", "fig02", "--results", results,
+                     "--update-baseline", "--baselines", base]) == 0
+        path = tmp_path / "baselines" / "BENCH_fig02.json"
+        payload = json.loads(path.read_text())
+        for row in payload["tables"]["2"]["rows"]:
+            if isinstance(row[1], float):
+                row[1] *= 2.0  # corrupt the committed latencies
+        path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["bench", "compare", "--results", results,
+                     "--baselines", base]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
 class TestFigureExecution:
     def test_quick_fig10_runs_and_prints(self, capsys):
         assert main(["figure", "10", "--quick"]) == 0
