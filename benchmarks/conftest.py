@@ -15,9 +15,15 @@ scratch space; the committed measurements live in
 ``python -m repro bench run <experiment> --update-baseline``.
 
 Set ``REPRO_BENCH_QUICK=1`` to run reduced axes (CI smoke).
+
+Every benchmark test also prints a one-line kernel cost summary —
+simulation events consumed, wall time, events/sec — via the autouse
+:func:`kernel_cost_line` fixture, so a throughput regression is visible
+right in the pytest output before the comparator ever runs.
 """
 
 import os
+import time
 
 import pytest
 
@@ -55,6 +61,29 @@ def emit(results_dir, capsys):
 @pytest.fixture(scope="session")
 def quick():
     return QUICK
+
+
+@pytest.fixture(autouse=True)
+def kernel_cost_line(request, capsys):
+    """Print one line of kernel cost per benchmark test.
+
+    Measures the simulation events the test consumed (the process-wide
+    counter, so every Simulator the driver builds is included) and the
+    host wall time, and reports the resulting events/sec.  Tests that
+    run no simulation stay silent.
+    """
+    from repro.sim.core import global_events_processed
+
+    start_events = global_events_processed()
+    start_wall = time.perf_counter()
+    yield
+    wall = time.perf_counter() - start_wall
+    events = global_events_processed() - start_events
+    if events:
+        rate = events / wall if wall > 0 else 0.0
+        with capsys.disabled():
+            print(f"[kernel] {request.node.name}: {events:,} events, "
+                  f"{wall:.2f} s wall, {rate:,.0f} events/s")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

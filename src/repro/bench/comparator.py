@@ -13,6 +13,12 @@ per metric:
 Anchor metrics and claims gate first — they are the paper's headline
 numbers — then every numeric table cell is checked, so a regression
 anywhere in a curve is caught even when the anchors survive.
+
+**Wall-clock metrics are the exception**: any metric named ``wall_s``,
+``wall_time_s`` or ``events_per_sec`` (table columns, anchors, and the
+record-level ``wall_time_s``) measures the *host*, not the simulation,
+so it can never fail a comparison — drift beyond 25% warns, which CI
+surfaces as an annotation instead of a red build.
 """
 
 from __future__ import annotations
@@ -27,6 +33,28 @@ from repro.bench.schema import BenchRecord
 __all__ = ["Tolerance", "MetricDiff", "Comparison", "compare_records", "compare_dirs"]
 
 _ORDER = {"pass": 0, "warn": 1, "fail": 2}
+
+#: Metric names (the last ``.``/``:`` component) that measure host
+#: wall-clock rather than simulated results.
+_WALL_METRICS = frozenset({"wall_s", "wall_time_s", "events_per_sec"})
+
+#: Relative drift a wall-clock metric may show before warning.
+WALL_REL_WARN = 0.25
+
+
+def _is_wall_metric(name: str) -> bool:
+    tail = name.replace(":", ".").rsplit(".", 1)[-1]
+    return tail in _WALL_METRICS
+
+
+def _classify_wall(baseline: Optional[float], new: Optional[float]) -> str:
+    """pass/warn for a host-timing pair — never ``fail``."""
+    if baseline == new:
+        return "pass"
+    if baseline is None or new is None or baseline == 0:
+        return "warn"
+    rel = abs(new - baseline) / abs(baseline)
+    return "pass" if rel <= WALL_REL_WARN else "warn"
 
 
 @dataclass(frozen=True)
@@ -132,6 +160,19 @@ def compare_records(
             "(rerun with matching --quick, or refresh the baseline)")
         return comp
 
+    # Host timing: warn-only, both at record level and below.
+    comp.diffs.append(MetricDiff(
+        "record:wall_time_s", baseline.wall_time_s, new.wall_time_s,
+        _classify_wall(baseline.wall_time_s, new.wall_time_s)))
+    if (baseline.events_processed is not None
+            and new.events_processed is not None):
+        # Deterministic cost counter (schema v2): gated like any metric.
+        comp.diffs.append(MetricDiff(
+            "record:events_processed",
+            float(baseline.events_processed), float(new.events_processed),
+            tol.classify(float(baseline.events_processed),
+                         float(new.events_processed))))
+
     # Anchors: the calibrated headline metrics.
     base_anchors = {a["key"]: a for a in baseline.anchors}
     new_anchors = {a["key"]: a for a in new.anchors}
@@ -142,11 +183,12 @@ def compare_records(
         if key not in base_anchors:
             comp.problems.append(f"anchor {key!r} has no committed baseline")
             continue
+        bval = base_anchors[key]["measured"]
+        nval = new_anchors[key]["measured"]
         comp.diffs.append(MetricDiff(
-            f"anchor:{key}",
-            base_anchors[key]["measured"], new_anchors[key]["measured"],
-            tol.classify(base_anchors[key]["measured"],
-                         new_anchors[key]["measured"])))
+            f"anchor:{key}", bval, nval,
+            _classify_wall(bval, nval) if _is_wall_metric(key)
+            else tol.classify(bval, nval)))
         if not new_anchors[key]["ok"] and base_anchors[key]["ok"]:
             comp.problems.append(
                 f"anchor {key!r} fell outside its paper tolerance "
@@ -190,7 +232,8 @@ def compare_records(
                     continue
                 comp.diffs.append(MetricDiff(
                     f"{panel}[{i}].{col}", bval, nval,
-                    tol.classify(bval, nval)))
+                    _classify_wall(bval, nval) if col in _WALL_METRICS
+                    else tol.classify(bval, nval)))
     return comp
 
 

@@ -12,16 +12,31 @@ Three experiments, each on a fresh two-node cluster:
   and completion queues, no sockets layer), giving the "VIA" series.
 
 All functions build their own simulator and are deterministic.
+
+The module also hosts the **kernel throughput suite**
+(:func:`kernel_suite`, ``python -m repro bench run kernel``): six
+workloads exercising the simulation kernel itself — timeout chains,
+process ping-pong, store churn, a TCP-style retransmit timer wheel,
+deadline-timer cancellation, and batched ``schedule_many`` bursts.
+Event counts and peak heap sizes are deterministic (and gated exactly
+by the comparator); the wall-clock columns measure the host and are
+gated warn-only.
 """
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.bench.records import ExperimentTable
 from repro.cluster.topology import Cluster
 from repro.net.calibration import VIA_CLAN, get_model
 from repro.net.model import ProtocolCostModel
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.sim.resources import Store
 from repro.sim.units import bytes_per_sec_to_mbps
 from repro.sockets.factory import ProtocolAPI
 from repro.via.descriptors import Descriptor
@@ -35,6 +50,14 @@ __all__ = [
     "latency_series",
     "bandwidth_series",
     "MicrobenchResult",
+    "KernelPoint",
+    "kernel_timeout_chain",
+    "kernel_process_pingpong",
+    "kernel_store_churn",
+    "kernel_timer_wheel",
+    "kernel_timer_cancel",
+    "kernel_schedule_burst",
+    "kernel_suite",
 ]
 
 PORT = 5000
@@ -278,3 +301,229 @@ def bandwidth_series(sizes, protocols=("via", "socketvia", "tcp")) -> List[Micro
                 value = streaming_bandwidth(proto, size)
             out.append(MicrobenchResult(proto, size, value))
     return out
+
+
+# ---------------------------------------------------------------------------
+# Kernel throughput suite (`python -m repro bench run kernel`)
+# ---------------------------------------------------------------------------
+#
+# Each workload builds a fresh Simulator, drives it to completion, and
+# reports (events processed, the closed-form expected count, peak heap
+# size, host wall time).  The expected count is part of the table so the
+# suite's claims can assert exactness without re-deriving workload
+# parameters: cancelled timers must contribute *zero* processed events.
+
+
+@dataclass
+class KernelPoint:
+    """One kernel-workload measurement."""
+
+    workload: str
+    events: int
+    expected: int
+    heap_peak: int
+    wall_s: float
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def kernel_timeout_chain(n: int = 200_000) -> KernelPoint:
+    """One process yielding *n* back-to-back timeouts — the pure
+    timeout-pool fast path (pop, fire, recycle; heap stays tiny)."""
+    sim = Simulator()
+
+    def proc(sim):
+        t = sim.timeout
+        for _ in range(n):
+            yield t(1.0)
+
+    Process(sim, proc(sim))
+    t0 = _time.perf_counter()
+    sim.run_all()
+    wall = _time.perf_counter() - t0
+    return KernelPoint("timeout_chain", sim.events_processed, n + 2,
+                       sim.heap_peak, wall)
+
+
+def kernel_process_pingpong(rounds: int = 100_000) -> KernelPoint:
+    """Two processes alternating on bare events — the single-waiter
+    resume fast path (no callback lists, no intermediate objects)."""
+    sim = Simulator()
+    state: Dict[str, Event] = {}
+
+    def ping(sim):
+        for _ in range(rounds):
+            ev = Event(sim)
+            state["ball"] = ev
+            yield ev
+
+    def pong(sim):
+        for _ in range(rounds):
+            yield sim.timeout(0)
+            state["ball"].succeed()
+
+    Process(sim, ping(sim))
+    Process(sim, pong(sim))
+    t0 = _time.perf_counter()
+    sim.run_all()
+    wall = _time.perf_counter() - t0
+    return KernelPoint("process_pingpong", sim.events_processed,
+                       2 * rounds + 4, sim.heap_peak, wall)
+
+
+def kernel_store_churn(n: int = 100_000, capacity: int = 16) -> KernelPoint:
+    """Producer/consumer through a bounded Store — resource events,
+    waiter queues, and the Event free list."""
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+
+    def producer(sim):
+        for i in range(n):
+            yield store.put(i)
+
+    def consumer(sim):
+        for _ in range(n):
+            yield store.get()
+
+    Process(sim, producer(sim))
+    Process(sim, consumer(sim))
+    t0 = _time.perf_counter()
+    sim.run_all()
+    wall = _time.perf_counter() - t0
+    return KernelPoint("store_churn", sim.events_processed, 2 * n + 4,
+                       sim.heap_peak, wall)
+
+
+def kernel_timer_wheel(
+    conns: int = 20_000,
+    rearms_per_tick: int = 1_000,
+    ticks: int = 200,
+    horizon: float = 100.0,
+) -> KernelPoint:
+    """TCP-style retransmit timers: a far-horizon timer per connection,
+    re-armed (cancel + new timeout) in bulk every tick.  Almost every
+    scheduled timer is cancelled before it can fire — the lazy-
+    cancellation + graveyard-reuse path.  Only the last-armed timer per
+    connection, the tick timeouts, and process bookkeeping fire."""
+    sim = Simulator()
+
+    def noop(ev):
+        pass
+
+    timers: List[Optional[Event]] = [None] * conns
+
+    def driver(sim):
+        nxt = 0
+        for _ in range(ticks):
+            for _ in range(rearms_per_tick):
+                old = timers[nxt]
+                if old is not None and not old.processed:
+                    old.cancel()
+                t = sim.timeout(horizon)
+                t.add_callback(noop)
+                timers[nxt] = t
+                nxt = (nxt + 1) % conns
+            yield sim.timeout(1.0)
+
+    Process(sim, driver(sim))
+    t0 = _time.perf_counter()
+    sim.run_all()
+    wall = _time.perf_counter() - t0
+    return KernelPoint("timer_wheel", sim.events_processed,
+                       conns + ticks + 2, sim.heap_peak, wall)
+
+
+def kernel_timer_cancel(
+    live: int = 2_048, cancels: int = 20_000, horizon: float = 1_000.0
+) -> KernelPoint:
+    """A fixed population of deadline timers, repeatedly cancelled and
+    replaced while references are held.  Exactly the *live* survivors
+    fire; every cancelled timer must be dropped without a heap rebuild."""
+    sim = Simulator()
+    timers = [sim.timeout(horizon + i) for i in range(live)]
+    t0 = _time.perf_counter()
+    for k in range(cancels):
+        j = k % live
+        timers[j].cancel()
+        timers[j] = sim.timeout(horizon + j)
+    sim.run_all()
+    wall = _time.perf_counter() - t0
+    return KernelPoint("timer_cancel", sim.events_processed, live,
+                       sim.heap_peak, wall)
+
+
+def kernel_schedule_burst(bursts: int = 200, size: int = 1_000) -> KernelPoint:
+    """Pre-succeeded events scheduled *size* at a time through
+    ``schedule_many`` — the batched enqueue path transports use for
+    multi-segment messages."""
+    sim = Simulator()
+
+    def noop(event):
+        pass
+
+    total = 0
+    t0 = _time.perf_counter()
+    for _ in range(bursts):
+        pairs = []
+        for i in range(size):
+            ev = Event(sim)
+            ev._ok = True
+            ev._value = None
+            ev.callbacks = noop
+            pairs.append((ev, float(i % 7)))
+            total += 1
+        sim.schedule_many(pairs)
+        sim.run_all()
+    wall = _time.perf_counter() - t0
+    return KernelPoint("schedule_burst", sim.events_processed, total,
+                       sim.heap_peak, wall)
+
+
+def kernel_suite(quick: bool = False) -> ExperimentTable:
+    """Run the six kernel workloads and tabulate them.
+
+    ``events``, ``expected_events`` and ``heap_peak`` are deterministic
+    simulation outputs; ``wall_s`` / ``events_per_sec`` measure the
+    host running the suite (the comparator gates them warn-only).
+    """
+    if quick:
+        points = [
+            kernel_timeout_chain(20_000),
+            kernel_process_pingpong(10_000),
+            kernel_store_churn(10_000),
+            kernel_timer_wheel(conns=2_000, rearms_per_tick=100, ticks=50),
+            kernel_timer_cancel(live=256, cancels=2_000),
+            kernel_schedule_burst(bursts=20, size=500),
+        ]
+    else:
+        points = [
+            kernel_timeout_chain(),
+            kernel_process_pingpong(),
+            kernel_store_churn(),
+            kernel_timer_wheel(),
+            kernel_timer_cancel(),
+            kernel_schedule_burst(),
+        ]
+    table = ExperimentTable(
+        "kernel",
+        "Simulation-kernel throughput (events/sec per workload)",
+        ["workload", "events", "expected_events", "heap_peak",
+         "wall_s", "events_per_sec"],
+    )
+    total_ev = 0
+    total_wall = 0.0
+    for p in points:
+        total_ev += p.events
+        total_wall += p.wall_s
+        table.add_row(p.workload, p.events, p.expected, p.heap_peak,
+                      round(p.wall_s, 4), round(p.events_per_sec, 1))
+    table.add_row("TOTAL", total_ev, sum(p.expected for p in points),
+                  max(p.heap_peak for p in points),
+                  round(total_wall, 4),
+                  round(total_ev / total_wall, 1) if total_wall > 0 else 0.0)
+    table.add_note(
+        "events/expected_events/heap_peak are deterministic; wall_s and "
+        "events_per_sec measure the host and vary run to run.")
+    return table

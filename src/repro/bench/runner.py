@@ -9,8 +9,10 @@ everything in a schema-versioned :class:`~repro.bench.schema.BenchRecord`.
 
 The drivers themselves are deterministic, so two runs of the same
 experiment at the same tree produce identical records except for the
-``wall_time_s`` / ``git_sha`` provenance fields (which the comparator
-ignores).
+``wall_time_s`` / ``git_sha`` provenance fields (``git_sha`` is
+ignored by the comparator; wall-clock metrics are gated warn-only) —
+including ``events_processed``, the deterministic cost counter
+recorded since schema version 2.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.bench.records import ExperimentTable
 from repro.bench.schema import SCHEMA_VERSION, BenchRecord
 from repro.bench.suites import BenchSuite, get_suite
+from repro.sim.core import global_events_processed
 from repro.sim.stats import Summary
 from repro.sim.trace import TraceRecord, Tracer, layer_of, tracing
 
@@ -120,12 +123,14 @@ def run_experiment(
     tracer.subscribe("", agg)
     tables: Dict[str, ExperimentTable] = {}
     start = time.perf_counter()
+    events_before = global_events_processed()
     with tracing(tracer, record=False):
         for panel in selected:
             if progress is not None:
                 progress(f"running {suite.bench_id} panel {panel} "
                          f"({'quick' if quick else 'full'} axes)")
             tables[panel] = FIGURES[panel](quick)
+    events = global_events_processed() - events_before
     wall = time.perf_counter() - start
 
     return BenchRecord(
@@ -140,5 +145,6 @@ def run_experiment(
         seed=None,
         quick=quick,
         wall_time_s=round(wall, 3),
+        events_processed=events,
         schema_version=SCHEMA_VERSION,
     )

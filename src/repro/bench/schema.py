@@ -23,11 +23,14 @@ from repro.bench.records import ExperimentTable
 
 __all__ = ["SCHEMA_VERSION", "BenchRecord", "SchemaError"]
 
-#: Current serialization format.  History: 1 = initial (PR 2).
-SCHEMA_VERSION = 1
+#: Current serialization format.  History: 1 = initial (PR 2);
+#: 2 = adds ``events_processed`` (simulation events the run consumed —
+#: deterministic, unlike ``wall_time_s``).
+SCHEMA_VERSION = 2
 
-#: Versions :meth:`BenchRecord.from_dict` accepts.
-_SUPPORTED_VERSIONS = (1,)
+#: Versions :meth:`BenchRecord.from_dict` accepts.  Version-1 records
+#: load with ``events_processed = None``.
+_SUPPORTED_VERSIONS = (1, 2)
 
 _REQUIRED_KEYS = frozenset({
     "schema_version", "experiment", "title", "git_sha", "seed", "quick",
@@ -57,8 +60,12 @@ class BenchRecord:
         (seconds of instrumented cost), from the run's trace stream.
     seed:
         Explicit RNG seed, or None for the drivers' built-in defaults.
+    events_processed:
+        Simulation events consumed across every panel of the run — a
+        deterministic cost measure (None in version-1 records).
     wall_time_s / git_sha:
-        Provenance only — the comparator ignores both.
+        ``git_sha`` is provenance only; ``wall_time_s`` is gated
+        warn-only by the comparator (>25% drift warns, never fails).
     """
 
     experiment: str
@@ -72,6 +79,7 @@ class BenchRecord:
     seed: Optional[int] = None
     quick: bool = False
     wall_time_s: float = 0.0
+    events_processed: Optional[int] = None
     schema_version: int = SCHEMA_VERSION
 
     # -- structured access ---------------------------------------------------
@@ -114,6 +122,7 @@ class BenchRecord:
             "seed": self.seed,
             "quick": self.quick,
             "wall_time_s": self.wall_time_s,
+            "events_processed": self.events_processed,
             "tables": self.tables,
             "anchors": self.anchors,
             "claims": self.claims,
@@ -156,6 +165,9 @@ class BenchRecord:
             seed=d["seed"],
             quick=bool(d["quick"]),
             wall_time_s=float(d["wall_time_s"]),
+            events_processed=(
+                None if d.get("events_processed") is None
+                else int(d["events_processed"])),
             schema_version=version,
         )
 

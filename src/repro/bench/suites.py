@@ -40,8 +40,10 @@ __all__ = [
 
 def _figures() -> Dict[str, Callable]:
     from repro.bench import figures as f
+    from repro.bench import microbench as m
 
     return {
+        "kernel": lambda quick: m.kernel_suite(quick),
         "2": lambda quick: f.fig2_message_size_economics(),
         "4a": lambda quick: f.fig4a_latency(
             sizes=[4, 256, 4096] if quick else None),
@@ -114,7 +116,7 @@ FIGURES: Dict[str, Callable] = _LazyFigures()
 RUNTIME_HINT = {
     "2": "instant", "4a": "~1 min", "4b": "~3 min", "7a": "~3 min",
     "7b": "~2.5 min", "8a": "~30 s", "8b": "~25 s", "9a": "~1 min",
-    "9b": "~1 min", "10": "~3 s", "11": "~11 s",
+    "9b": "~1 min", "10": "~3 s", "11": "~11 s", "kernel": "~3 s",
 }
 
 
@@ -422,6 +424,58 @@ def _fig11_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# kernel — simulation-kernel throughput (not a paper figure; gates the
+# event-loop fast path that every figure reproduction runs on)
+# ---------------------------------------------------------------------------
+
+
+def _kernel_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    table = tables.get("kernel")
+    if table is None:
+        return []
+    idx = table.column("workload").index("TOTAL")
+    total_events = table.column("events")[idx]
+    heap_peak = max(table.column("heap_peak"))
+    eps = table.column("events_per_sec")[idx]
+    return [
+        Anchor("kernel_total_events",
+               "useful events processed across all workloads (deterministic)",
+               float(total_events), group="kernel", unit="events"),
+        Anchor("kernel_heap_peak",
+               "largest event heap any workload reached (deterministic)",
+               float(heap_peak), group="kernel", unit="entries"),
+        Anchor("events_per_sec",
+               "aggregate kernel throughput (host-dependent, gated warn-only)",
+               float(eps), group="kernel", unit="events/s"),
+    ]
+
+
+def _kernel_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    table = tables.get("kernel")
+    if table is None:
+        return []
+    names = table.column("workload")
+    events = dict(zip(names, table.column("events")))
+    expected = dict(zip(names, table.column("expected_events")))
+    exact = all(events[w] == expected[w] for w in names)
+    return [
+        Claim("event_counts_exact",
+              "every workload processed exactly its closed-form event count "
+              "(cancelled timers contributed zero fired events)",
+              exact, "kernel"),
+        Claim("wheel_cancellation_lazy",
+              "timer-wheel fires only the surviving timer per connection "
+              "despite ~10x as many scheduled-then-cancelled",
+              events.get("timer_wheel") == expected.get("timer_wheel"),
+              "kernel"),
+        Claim("cancelled_deadlines_never_fire",
+              "deadline-cancel workload processed only its live survivors",
+              events.get("timer_cancel") == expected.get("timer_cancel"),
+              "kernel"),
+    ]
+
+
 def _no_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
     return []
 
@@ -450,13 +504,18 @@ SUITES: Dict[str, BenchSuite] = {
         BenchSuite("fig11", "Demand-driven scheduling under dynamic "
                    "slowdown (Figure 11)", ("11",),
                    _no_anchors, _fig11_claims),
+        BenchSuite("kernel", "Simulation-kernel throughput micro-benchmarks",
+                   ("kernel",), _kernel_anchors, _kernel_claims),
     )
 }
 
 
 def get_suite(bench_id: str) -> BenchSuite:
-    """Look a suite up by id; accepts ``fig04``, ``04``, ``4``, ``fig4``."""
+    """Look a suite up by id; accepts ``fig04``, ``04``, ``4``, ``fig4``,
+    and non-figure suite ids (``kernel``) verbatim."""
     key = bench_id.lower()
+    if key in SUITES:
+        return SUITES[key]
     if not key.startswith("fig"):
         key = "fig" + key
     digits = key[3:]

@@ -9,10 +9,14 @@ are generators that ``yield`` events to suspend until those events fire.
 Event lifecycle::
 
     PENDING ---succeed()/fail()---> TRIGGERED ---(event loop)---> PROCESSED
+                                        |
+                                        +--cancel()--> CANCELLED (tombstone)
 
 * ``PENDING``   — created, not yet scheduled; callbacks may be added.
 * ``TRIGGERED`` — has a value/exception and sits on the event heap.
 * ``PROCESSED`` — callbacks have run; ``value``/``exception`` are readable.
+* ``CANCELLED`` — tombstoned on the heap; the kernel discards it without
+  running callbacks (lazy cancellation — see :meth:`Event.cancel`).
 
 Failed events that nobody observed (no callbacks, not *defused*) crash the
 simulation at the point they are processed — silent failure is the enemy of
@@ -21,6 +25,7 @@ a correct model.
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 from repro.errors import EventLifecycleError
@@ -32,6 +37,7 @@ __all__ = [
     "PENDING",
     "TRIGGERED",
     "PROCESSED",
+    "CANCELLED",
     "Event",
     "Timeout",
     "Condition",
@@ -42,9 +48,35 @@ __all__ = [
 #: Sentinel object marking an event whose value has not been set yet.
 _UNSET = object()
 
+#: Sentinel stored in ``Event.callbacks`` once the kernel has processed the
+#: event.  Distinct from ``None`` (= no waiters yet): the single-waiter
+#: fast path stores a bare callable in ``callbacks``, a second waiter
+#: promotes it to a list, and the kernel swaps in this marker when the
+#: callbacks have run.  Kernel-internal; everything else should use the
+#: :attr:`Event.processed` property.
+_PROCESSED_MARK = object()
+
 PENDING = "pending"
 TRIGGERED = "triggered"
 PROCESSED = "processed"
+CANCELLED = "cancelled"
+
+# Reference-count probe used by the kernel's Timeout free list and the
+# process interrupt path.  ``sys.getrefcount(x)`` counts the call argument
+# itself, so the baseline is measured with the exact shape used at the call
+# sites (one frame-local binding passed as the single argument).  On
+# runtimes without refcounts (PyPy) the probes stay None and every
+# refcount-gated optimization is disabled — pure speed, never semantics.
+_getrefcount = getattr(sys, "getrefcount", None)
+if _getrefcount is not None:
+    def _measure_local_refs() -> int:
+        probe = object()
+        return _getrefcount(probe)
+
+    #: getrefcount() of an object referenced only by one local variable.
+    _LOCAL_REFS: Optional[int] = _measure_local_refs()
+else:  # pragma: no cover - exercised only on refcount-free runtimes
+    _LOCAL_REFS = None
 
 
 class Event:
@@ -57,32 +89,67 @@ class Event:
 
     Notes
     -----
-    ``callbacks`` is a plain list while the event is pending or triggered
-    and becomes ``None`` once processed; appending to a processed event is
-    an error (checked by :meth:`add_callback`).
+    ``callbacks`` is allocation-light: ``None`` while nobody waits, a bare
+    callable for the common single-waiter case, a list only once a second
+    waiter subscribes, and a private processed-marker after the kernel has
+    run them.  Registering on a processed event is an error (checked by
+    :meth:`add_callback`); kernel modules that read the slot directly must
+    handle all four shapes.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_ok",
+        "defused",
+        "_cancelled",
+        "_gen",
+        "_detached",
+    )
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Any = None
         self._value: Any = _UNSET
         self._ok: Optional[bool] = None
         #: When True, an exception carried by this event will not crash the
         #: simulation even if no callback consumed it.
         self.defused = False
+        #: Tombstone flag: a cancelled event stays on the heap but is
+        #: discarded (callbacks never run) when the kernel reaches it.
+        self._cancelled = False
+        # Two slots are deliberately NOT initialized here (they are written
+        # before first read, and two stores per construction matter):
+        # ``_gen``      — generation stamp.  Every schedule writes the heap
+        #                 entry's sequence number here; a popped entry whose
+        #                 stored seq differs from ``event._gen`` is stale
+        #                 (cancelled, or superseded after recycling) and is
+        #                 discarded without running callbacks.
+        # ``_detached`` — True once a cancelled event's stale heap entry has
+        #                 been dropped (pop/peek/compaction), meaning the
+        #                 heap no longer references it.  Written by
+        #                 ``cancel()``; read only by the graveyard reuse
+        #                 probe in :meth:`Simulator.timeout`.
 
     # -- state inspection ---------------------------------------------------
 
     @property
     def state(self) -> str:
-        """Current lifecycle state (``pending``/``triggered``/``processed``)."""
-        if self.callbacks is None:
+        """Current lifecycle state
+        (``pending``/``triggered``/``processed``/``cancelled``)."""
+        if self._cancelled:
+            return CANCELLED
+        if self.callbacks is _PROCESSED_MARK:
             return PROCESSED
         if self._value is not _UNSET:
             return TRIGGERED
         return PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has tombstoned this event."""
+        return self._cancelled
 
     @property
     def triggered(self) -> bool:
@@ -92,7 +159,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None
+        return self.callbacks is _PROCESSED_MARK
 
     @property
     def ok(self) -> bool:
@@ -144,21 +211,78 @@ class Event:
         else:
             self.fail(source._value)
 
+    def cancel(self) -> bool:
+        """Tombstone a triggered-but-unprocessed event (lazy cancellation).
+
+        The heap entry stays where it is; the kernel discards it on pop
+        without advancing the clock, running callbacks, or invoking trace
+        hooks.  Cancelling is O(1) — heavy cancellation loads are bounded
+        by the kernel's periodic tombstone compaction instead of a heap
+        rebuild per cancel.
+
+        Returns True if this call tombstoned the event, False if it was
+        already cancelled.  Raises :class:`EventLifecycleError` for events
+        that are not sitting on the heap (pending or already processed) —
+        there is nothing to cancel in either case.
+        """
+        if self._cancelled:
+            return False
+        if self.callbacks is _PROCESSED_MARK:
+            raise EventLifecycleError(f"cannot cancel {self!r}: already processed")
+        if self._value is _UNSET:
+            raise EventLifecycleError(f"cannot cancel {self!r}: not scheduled")
+        self._cancelled = True
+        # Invalidate the generation stamp: the heap entry still carries the
+        # old sequence number, so every discard site recognizes it as stale
+        # without touching this object again.
+        self._gen = -1
+        sim = self.sim
+        if self.__class__ is Timeout and len(sim._grave) < sim._GRAVE_MAX:
+            # Park exact-class timeouts for immediate reuse: unlike the
+            # processed-timeout free list, a cancelled timer can be re-armed
+            # as soon as the caller drops its reference — no need to wait
+            # for the stale heap entry to surface.  ``_detached`` starts
+            # False because that entry is still on the heap.
+            self._detached = False
+            sim._grave.append(self)
+        # Inline tombstone accounting (cancel storms are a hot path —
+        # retransmit-style timers are armed and killed per message).
+        t = sim._tombstones + 1
+        sim._tombstones = t
+        if t >= sim._COMPACT_MIN and 4 * t >= 3 * len(sim._heap):
+            sim._compact()
+        return True
+
     # -- callback management --------------------------------------------------
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register *callback* to run when this event is processed."""
-        if self.callbacks is None:
+        cbs = self.callbacks
+        if cbs is None:
+            # Single-waiter fast path: no list allocated.
+            self.callbacks = callback
+        elif cbs.__class__ is list:
+            cbs.append(callback)
+        elif cbs is _PROCESSED_MARK:
             raise EventLifecycleError(f"{self!r} already processed")
-        self.callbacks.append(callback)
+        else:
+            # Second waiter: promote bare callable to a list.
+            self.callbacks = [cbs, callback]
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
         """Unregister a callback; a no-op if it is not registered."""
-        if self.callbacks is not None:
+        cbs = self.callbacks
+        if cbs is None or cbs is _PROCESSED_MARK:
+            return
+        if cbs.__class__ is list:
             try:
-                self.callbacks.remove(callback)
+                cbs.remove(callback)
             except ValueError:
                 pass
+        elif cbs == callback:
+            # == not `is`: bound methods compare equal across accesses but
+            # are distinct objects.
+            self.callbacks = None
 
     # -- operators ------------------------------------------------------------
 
@@ -177,6 +301,11 @@ class Timeout(Event):
 
     Created already *triggered* (its value is known) and scheduled
     ``delay`` time units in the future.
+
+    Instances may be recycled through the owning simulator's free list
+    (see :meth:`Simulator.timeout`): after processing, a timeout that is
+    provably unreferenced outside the kernel is re-armed for the next
+    ``timeout()`` call instead of being reallocated.
     """
 
     __slots__ = ("delay",)
@@ -189,6 +318,19 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         sim.schedule(self, delay=delay)
+
+    def _rearm(self, delay: float, value: Any) -> None:
+        """Reset a recycled instance for reuse (kernel-internal).
+
+        Only called by :meth:`Simulator.timeout` on instances the run loop
+        proved unreferenced; ``callbacks`` was already reset to ``None``
+        (no waiters) when the instance entered the free list.
+        """
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self.defused = False
+        self._cancelled = False
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Timeout delay={self.delay} state={self.state}>"

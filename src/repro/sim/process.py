@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from repro.errors import ProcessError
-from repro.sim.events import Event
+from repro.sim.events import _PROCESSED_MARK, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -63,7 +63,7 @@ class Process(Event):
     than constructing directly.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb", "_send", "_throw")
 
     def __init__(
         self,
@@ -81,12 +81,18 @@ class Process(Event):
         #: The event this process is currently suspended on (None when
         #: running or finished).  Exposed for debugging and for interrupts.
         self._target: Optional[Event] = None
+        # The resume path runs once per event the process waits on; bind
+        # the bound-method callback and the generator entry points once
+        # instead of allocating them per resume.
+        self._resume_cb = self._resume
+        self._send = generator.send
+        self._throw = generator.throw
         # Kick-start the generator via an immediately-successful event so
         # the first resume happens inside the event loop, not re-entrantly.
         start = Event(sim)
         start._ok = True
         start._value = None
-        start.callbacks.append(self._resume)
+        start.callbacks = self._resume_cb  # fresh event: single-waiter store
         sim.schedule(start, priority=sim.URGENT)
 
     # -- state ---------------------------------------------------------------
@@ -114,13 +120,13 @@ class Process(Event):
             while True:
                 try:
                     if event._ok:
-                        next_target = self._generator.send(event._value)
+                        next_target = self._send(event._value)
                     else:
                         # The process observes the failure; mark it defused
                         # so an uncaught failure surfaces *here*, in the
                         # process, not in the kernel loop.
                         event.defused = True
-                        next_target = self._generator.throw(event._value)
+                        next_target = self._throw(event._value)
                 except StopIteration as stop:
                     self._target = None
                     self.succeed(stop.value)
@@ -148,11 +154,16 @@ class Process(Event):
                     self.fail(err)
                     return
 
-                if next_target.processed:
+                cbs = next_target.callbacks
+                if cbs is _PROCESSED_MARK:
                     # Already done: resume synchronously with its outcome.
                     event = next_target
                     continue
-                next_target.add_callback(self._resume)
+                if cbs is None:
+                    # Single-waiter fast path: no list, no method call.
+                    next_target.callbacks = self._resume_cb
+                else:
+                    next_target.add_callback(self._resume_cb)
                 self._target = next_target
                 return
         finally:
@@ -173,7 +184,7 @@ class Process(Event):
         ev._ok = False
         ev._value = Interrupt(cause)
         ev.defused = True
-        ev.callbacks.append(self._deliver_interrupt)
+        ev.callbacks = self._deliver_interrupt  # fresh event: single waiter
         self.sim.schedule(ev, priority=self.sim.URGENT)
 
     def _deliver_interrupt(self, event: Event) -> None:
@@ -182,7 +193,7 @@ class Process(Event):
         if self._target is not None:
             # Detach from whatever we were waiting on; the wait target stays
             # valid and may be re-yielded by the interrupted process.
-            self._target.remove_callback(self._resume)
+            self._target.remove_callback(self._resume_cb)
             self._target = None
         self._resume(event)
 

@@ -258,7 +258,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Offer *item*; the event fires when the store accepts it."""
-        ev = Event(self.sim)
+        ev = self.sim.event()
         self._putters.append((ev, item))
         self._settle()
         return ev
@@ -274,7 +274,7 @@ class Store:
 
     def get(self) -> Event:
         """Take the next item; the event fires with it as value."""
-        ev = Event(self.sim)
+        ev = self.sim.event()
         self._getters.append(ev)
         self._settle()
         return ev
@@ -363,7 +363,7 @@ class Container:
         """Take *amount* units, blocking until available."""
         if amount <= 0:
             raise ValueError("amount must be positive")
-        ev = Event(self.sim)
+        ev = self.sim.event()
         self._getters.append((ev, amount))
         self._settle()
         return ev
@@ -374,7 +374,7 @@ class Container:
             raise ValueError("amount must be positive")
         if amount > self.capacity:
             raise ValueError("amount exceeds container capacity")
-        ev = Event(self.sim)
+        ev = self.sim.event()
         self._putters.append((ev, amount))
         self._settle()
         return ev

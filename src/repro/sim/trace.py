@@ -61,9 +61,13 @@ def layer_of(kind: str) -> str:
     return "other"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
-    """One trace event: a timestamp, a dotted kind, and free-form fields."""
+    """One trace event: a timestamp, a dotted kind, and free-form fields.
+
+    ``slots=True``: traced runs allocate one of these per emitted point
+    (fig10/fig11 emit hundreds of thousands), so the per-instance dict
+    is worth eliding."""
 
     time: float
     kind: str

@@ -93,9 +93,41 @@ class TestCompareRecords:
         assert comp.status == "fail"
         assert any("axis mismatch" in p for p in comp.problems)
 
-    def test_wall_time_and_sha_ignored(self):
-        new = make_record(wall_time_s=999.0, git_sha="fffffff")
-        assert compare_records(new, make_record(), TOL).status == "pass"
+    def test_sha_ignored_and_wall_time_gated_warn_only(self):
+        # git_sha and small wall drift: clean pass.
+        new = make_record(wall_time_s=1.1, git_sha="fffffff")
+        base = make_record(wall_time_s=1.0)
+        assert compare_records(new, base, TOL).status == "pass"
+        # Beyond 25% drift: warns, but can never fail — it measures the
+        # host, not the simulation.
+        slow = make_record(wall_time_s=999.0)
+        comp = compare_records(slow, base, TOL)
+        assert comp.status == "warn"
+        assert any(d.metric == "record:wall_time_s" and d.status == "warn"
+                   for d in comp.diffs)
+
+    def test_wall_clock_table_columns_warn_only(self):
+        base = make_record()
+        base.tables = copy.deepcopy(base.tables)
+        base.tables["X"]["columns"].append("wall_s")
+        for row in base.tables["X"]["rows"]:
+            row.append(1.0)
+        slow = copy.deepcopy(base)
+        for row in slow.tables["X"]["rows"]:
+            row[-1] = 10.0  # 10x slower host: still only a warning
+        comp = compare_records(slow, base, TOL)
+        assert comp.status == "warn"
+        assert all(d.status != "fail" for d in comp.diffs)
+
+    def test_events_processed_gated_exactly(self):
+        base = make_record(events_processed=1000)
+        same = make_record(events_processed=1000)
+        assert compare_records(same, base, TOL).status == "pass"
+        drifted = make_record(events_processed=1200)
+        assert compare_records(drifted, base, TOL).status == "fail"
+        # v1 baseline without the counter: nothing to compare.
+        old = make_record(events_processed=None)
+        assert compare_records(same, old, TOL).status == "pass"
 
 
 class TestCompareDirs:
