@@ -16,6 +16,13 @@ scratch space; the committed measurements live in
 
 Set ``REPRO_BENCH_QUICK=1`` to run reduced axes (CI smoke).
 
+The figure benchmarks execute their sweeps through one session-wide
+:class:`~repro.bench.executor.SweepExecutor` (the :func:`sweep`
+fixture): ``REPRO_JOBS`` sets the worker count, and point results are
+memoized in the content-addressed cache under ``benchmarks/cache/``
+unless ``REPRO_BENCH_NO_CACHE`` is set — a rerun at an unchanged tree
+replays from the cache instead of re-simulating.
+
 Every benchmark test also prints a one-line kernel cost summary —
 simulation events consumed, wall time, events/sec — via the autouse
 :func:`kernel_cost_line` fixture, so a throughput regression is visible
@@ -61,6 +68,27 @@ def emit(results_dir, capsys):
 @pytest.fixture(scope="session")
 def quick():
     return QUICK
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """Session-wide point-sweep executor shared by every figure benchmark.
+
+    One executor means one (lazily created) process pool and one cache
+    hit/miss tally for the whole session; configuration comes from the
+    environment (``REPRO_JOBS``, ``REPRO_BENCH_CACHE``,
+    ``REPRO_BENCH_NO_CACHE``).
+    """
+    from repro.bench.executor import SweepExecutor
+
+    executor = SweepExecutor.from_env()
+    yield executor
+    executor.close()
+    if executor.cache is not None:
+        stats = executor.cache.stats()
+        print(f"\n[sweep-cache] {stats['hits']} hit(s), "
+              f"{stats['misses']} miss(es), {stats['entries']} entr(y/ies) "
+              f"in {stats['directory']}")
 
 
 @pytest.fixture(autouse=True)

@@ -7,11 +7,11 @@ the same ones ``python -m repro bench run fig02`` records.
 """
 
 from conftest import check_suite, run_once
-from repro.bench import figures
+from repro.bench.suites import PLANS
 
 
-def test_fig2_u1_u2_and_latency_steps(benchmark, emit, quick):
-    table = run_once(benchmark, figures.fig2_message_size_economics)
+def test_fig2_u1_u2_and_latency_steps(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["2"](quick))
     emit(table)
     anchors, claims = check_suite("fig02", {"2": table})
     assert len(anchors) == 5 and len(claims) == 3

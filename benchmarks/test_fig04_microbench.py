@@ -8,12 +8,11 @@ anchor/claim extractors (one implementation with
 """
 
 from conftest import check_suite, run_once
-from repro.bench import figures
+from repro.bench.suites import PLANS
 
 
-def test_fig4a_latency(benchmark, emit, quick):
-    sizes = [4, 256, 4096] if quick else None
-    table = run_once(benchmark, figures.fig4a_latency, sizes=sizes)
+def test_fig4a_latency(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["4a"](quick))
     emit(table)
     anchors, claims = check_suite("fig04", {"4a": table})
     assert {a.key for a in anchors} == {
@@ -23,9 +22,8 @@ def test_fig4a_latency(benchmark, emit, quick):
     assert {c.key for c in claims} == {"latency_ordering", "latency_monotone"}
 
 
-def test_fig4b_bandwidth(benchmark, emit, quick):
-    sizes = [2048, 16384, 65536] if quick else None
-    table = run_once(benchmark, figures.fig4b_bandwidth, sizes=sizes)
+def test_fig4b_bandwidth(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["4b"](quick))
     emit(table)
     anchors, claims = check_suite("fig04", {"4b": table})
     assert {a.key for a in anchors} == {

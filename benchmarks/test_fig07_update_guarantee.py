@@ -7,7 +7,7 @@ high frame rates; improvements reach the paper's multiples.
 """
 
 from conftest import run_once
-from repro.bench import figures
+from repro.bench.suites import PLANS
 
 
 def _series(table):
@@ -18,15 +18,8 @@ def _series(table):
     )
 
 
-def test_fig7a_no_computation(benchmark, emit, quick):
-    rates = [4.0, 3.25, 2.0] if quick else None
-    table = run_once(
-        benchmark,
-        figures.fig7_update_rate_guarantee,
-        compute_ns_per_byte=0.0,
-        rates=rates,
-        frames=2 if quick else 3,
-    )
+def test_fig7a_no_computation(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["7a"](quick))
     emit(table)
     tcp, sv, dr = _series(table)
     # TCP cannot meet the 4 updates/s guarantee; SocketVIA-DR can.
@@ -42,15 +35,8 @@ def test_fig7a_no_computation(benchmark, emit, quick):
     assert max(t / d for t, _, d in pairs) > 8.0
 
 
-def test_fig7b_linear_computation(benchmark, emit, quick):
-    rates = [3.25, 2.0] if quick else None
-    table = run_once(
-        benchmark,
-        figures.fig7_update_rate_guarantee,
-        compute_ns_per_byte=18.0,
-        rates=rates,
-        frames=2 if quick else 3,
-    )
+def test_fig7b_linear_computation(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["7b"](quick))
     emit(table)
     tcp, sv, dr = _series(table)
     rates_col = table.column("updates_per_sec")

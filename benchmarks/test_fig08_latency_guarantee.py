@@ -7,18 +7,11 @@ guarantee while SocketVIA stays near its peak rate.  8(b): with
 """
 
 from conftest import run_once
-from repro.bench import figures
+from repro.bench.suites import PLANS
 
 
-def test_fig8a_no_computation(benchmark, emit, quick):
-    bounds = [1000, 400, 100] if quick else None
-    table = run_once(
-        benchmark,
-        figures.fig8_latency_guarantee,
-        compute_ns_per_byte=0.0,
-        bounds_us=bounds,
-        frames=2 if quick else 3,
-    )
+def test_fig8a_no_computation(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["8a"](quick))
     emit(table)
     bounds_col = table.column("latency_us")
     tcp = table.column("TCP")
@@ -36,15 +29,8 @@ def test_fig8a_no_computation(benchmark, emit, quick):
     assert all(d > t for t, d in feasible)
 
 
-def test_fig8b_linear_computation(benchmark, emit, quick):
-    bounds = [1000, 400, 200] if quick else None
-    table = run_once(
-        benchmark,
-        figures.fig8_latency_guarantee,
-        compute_ns_per_byte=18.0,
-        bounds_us=bounds,
-        frames=2 if quick else 3,
-    )
+def test_fig8b_linear_computation(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["8b"](quick))
     emit(table)
     tcp = table.column("TCP")
     dr = table.column("SocketVIA_DR")

@@ -7,7 +7,7 @@ budget SocketVIA tolerates a higher complete-update fraction.
 """
 
 from conftest import run_once
-from repro.bench import figures
+from repro.bench.suites import PLANS
 
 
 def _tolerated_fraction(table, column, budget_ms):
@@ -19,15 +19,8 @@ def _tolerated_fraction(table, column, budget_ms):
     return best
 
 
-def test_fig9a_no_computation(benchmark, emit, quick):
-    fractions = [0.0, 0.6, 1.0] if quick else None
-    table = run_once(
-        benchmark,
-        figures.fig9_query_mix,
-        compute_ns_per_byte=0.0,
-        fractions=fractions,
-        n_queries=6 if quick else 10,
-    )
+def test_fig9a_no_computation(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["9a"](quick))
     emit(table)
     # Unpartitioned: flat response regardless of the mix (every query
     # fetches the whole image).
@@ -47,15 +40,8 @@ def test_fig9a_no_computation(benchmark, emit, quick):
         _tolerated_fraction(table, "TCP_p64", budget)
 
 
-def test_fig9b_linear_computation(benchmark, emit, quick):
-    fractions = [0.0, 1.0] if quick else None
-    table = run_once(
-        benchmark,
-        figures.fig9_query_mix,
-        compute_ns_per_byte=18.0,
-        fractions=fractions,
-        n_queries=6 if quick else 10,
-    )
+def test_fig9b_linear_computation(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["9b"](quick))
     emit(table)
     # Computation raises everything but preserves the ordering at the
     # complete-heavy end.

@@ -6,17 +6,12 @@ factor of heterogeneity.
 """
 
 from conftest import run_once
-from repro.bench import figures
+from repro.bench.suites import PLANS
 from repro.net import PAPER_RESULTS
 
 
-def test_fig10_reaction_time(benchmark, emit, quick):
-    table = run_once(
-        benchmark,
-        figures.fig10_rr_reaction,
-        factors=[2, 10] if quick else None,
-        total_bytes=(4 if quick else 8) * 1024 * 1024,
-    )
+def test_fig10_reaction_time(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["10"](quick))
     emit(table)
     sv = table.column("SocketVIA")
     tcp = table.column("TCP")

@@ -8,16 +8,11 @@ take advantage of pipelining and dynamic scheduling".
 
 from conftest import run_once
 from repro.bench import figures
+from repro.bench.suites import PLANS
 
 
-def test_fig11_execution_time(benchmark, emit, quick):
-    table = run_once(
-        benchmark,
-        figures.fig11_dd_heterogeneity,
-        probabilities=[0.1, 0.9] if quick else None,
-        factors=[2, 8] if quick else None,
-        total_bytes=(2 if quick else 8) * 1024 * 1024,
-    )
+def test_fig11_execution_time(benchmark, emit, quick, sweep):
+    table = run_once(benchmark, sweep.table, PLANS["11"](quick))
     emit(table)
     factors = [2, 8] if quick else figures.FIG11_FACTORS
     # Execution time rises with the probability of being slow.

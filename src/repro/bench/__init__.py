@@ -3,9 +3,13 @@
 Submodules
 ----------
 ``figures`` / ``microbench``
-    The experiment drivers — one function per paper figure.
+    The experiment drivers — one function per paper figure, plus the
+    ``*_points()`` sweep decompositions the executor runs.
 ``suites``
     What the harness runs and how a run is judged (anchors, claims).
+``executor`` / ``cache``
+    The point-sweep executor: serial or process-pool fan-out over pure
+    figure points, with a content-addressed on-disk result cache.
 ``runner`` / ``schema`` / ``baselines``
     Execute a suite, capture it as a schema-versioned
     ``BENCH_<experiment>.json`` record, and manage the committed
@@ -22,12 +26,15 @@ the pytest benchmarks under ``benchmarks/`` are thin adapters over the
 same suites.
 """
 
+from repro.bench.cache import ResultCache, code_fingerprint
 from repro.bench.comparator import Comparison, MetricDiff, Tolerance, compare_records
+from repro.bench.executor import Point, PointPlan, SweepExecutor
 from repro.bench.records import ExperimentTable, fmt, ratio
 from repro.bench.runner import TraceAggregator, run_experiment
 from repro.bench.schema import SCHEMA_VERSION, BenchRecord, SchemaError
 from repro.bench.suites import (
     FIGURES,
+    PLANS,
     SUITES,
     Anchor,
     BenchSuite,
@@ -48,10 +55,16 @@ __all__ = [
     "BenchSuite",
     "SUITES",
     "FIGURES",
+    "PLANS",
     "get_suite",
     "suite_names",
     "run_experiment",
     "TraceAggregator",
+    "Point",
+    "PointPlan",
+    "SweepExecutor",
+    "ResultCache",
+    "code_fingerprint",
     "Tolerance",
     "MetricDiff",
     "Comparison",

@@ -35,8 +35,14 @@ __all__ = ["Tolerance", "MetricDiff", "Comparison", "compare_records", "compare_
 _ORDER = {"pass": 0, "warn": 1, "fail": 2}
 
 #: Metric names (the last ``.``/``:`` component) that measure host
-#: wall-clock rather than simulated results.
-_WALL_METRICS = frozenset({"wall_s", "wall_time_s", "events_per_sec"})
+#: wall-clock rather than simulated results.  The ``serial_s`` /
+#: ``parallel_s`` / ``warm_s`` timings and the speedups derived from
+#: them come from the sweep meta-benchmark (``bench run sweep``).
+_WALL_METRICS = frozenset({
+    "wall_s", "wall_time_s", "events_per_sec",
+    "serial_s", "parallel_s", "warm_s",
+    "speedup_parallel", "speedup_cache",
+})
 
 #: Relative drift a wall-clock metric may show before warning.
 WALL_REL_WARN = 0.25

@@ -17,6 +17,7 @@ recorded since schema version 2.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import time
 from typing import Dict, Iterable, List, Optional
@@ -78,12 +79,21 @@ class TraceAggregator:
 
 
 def git_sha() -> str:
-    """Short sha of HEAD, or ``"unknown"`` outside a git checkout."""
+    """Short sha of HEAD, or ``"unknown"`` outside a git checkout.
+
+    Resolves against the installed package's directory rather than the
+    caller's CWD, captures stderr (no "fatal: not a git repository"
+    noise), and swallows every way the probe can fail — missing git
+    binary, timeout, deleted working directory — so callers never need
+    a try/except.  Also feeds the sweep cache's code fingerprint
+    (:func:`repro.bench.cache.code_fingerprint`).
+    """
     try:
         proc = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10)
-    except OSError:
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError, ValueError):
         return "unknown"
     sha = proc.stdout.strip()
     return sha if proc.returncode == 0 and sha else "unknown"
@@ -94,8 +104,20 @@ def run_experiment(
     quick: bool = False,
     panels: Optional[Iterable[str]] = None,
     progress=None,
+    jobs: Optional[int] = None,
+    cache=None,
+    executor=None,
 ) -> BenchRecord:
     """Run one suite and return its :class:`BenchRecord`.
+
+    Figure panels execute through their point-sweep decomposition
+    (``repro.bench.suites.PLANS``) on a
+    :class:`~repro.bench.executor.SweepExecutor` — parallel when
+    ``jobs > 1``, memoized when a cache is attached — with the
+    per-point trace profiles merged back in deterministic plan order,
+    so the record is bit-identical whatever ran the points.  Meta
+    panels with no plan (``kernel``, ``sweep``) run inline and serial:
+    they time the host.
 
     Parameters
     ----------
@@ -108,6 +130,16 @@ def run_experiment(
         Subset of the suite's panels to run (default: all of them).
     progress:
         Optional ``fn(message: str)`` called before each panel.
+    jobs:
+        Point-sweep worker count (default: ``REPRO_JOBS`` env, else 1).
+    cache:
+        Optional :class:`~repro.bench.cache.ResultCache` for point
+        results (default: no caching at this layer; the CLI and the
+        pytest session attach one).
+    executor:
+        Reuse an existing :class:`~repro.bench.executor.SweepExecutor`
+        (its pool and cache) instead of building one from ``jobs`` /
+        ``cache``; the caller keeps ownership and must close it.
     """
     suite: BenchSuite = get_suite(bench_id)
     selected = tuple(panels) if panels is not None else suite.panels
@@ -116,31 +148,53 @@ def run_experiment(
         raise KeyError(
             f"{suite.bench_id} has no panels {unknown}; have {list(suite.panels)}")
 
-    from repro.bench.suites import FIGURES
+    from repro.bench.executor import (SweepExecutor, layers_from_kinds,
+                                      merge_kinds)
+    from repro.bench.suites import FIGURES, PLANS
 
-    agg = TraceAggregator()
-    tracer = Tracer()
-    tracer.subscribe("", agg)
+    own_executor = executor is None
+    if own_executor:
+        executor = SweepExecutor(jobs=jobs, cache=cache)
+
     tables: Dict[str, ExperimentTable] = {}
+    kind_parts: List[Dict[str, Dict[str, float]]] = []
+    events = 0
     start = time.perf_counter()
-    events_before = global_events_processed()
-    with tracing(tracer, record=False):
+    try:
         for panel in selected:
             if progress is not None:
                 progress(f"running {suite.bench_id} panel {panel} "
                          f"({'quick' if quick else 'full'} axes)")
-            tables[panel] = FIGURES[panel](quick)
-    events = global_events_processed() - events_before
+            plan_fn = PLANS.get(panel)
+            if plan_fn is None:
+                agg = TraceAggregator()
+                tracer = Tracer()
+                tracer.subscribe("", agg)
+                before = global_events_processed()
+                with tracing(tracer, record=False):
+                    tables[panel] = FIGURES[panel](quick)
+                events += global_events_processed() - before
+                kind_parts.append(agg.kinds())
+            else:
+                plan = plan_fn(quick)
+                results = executor.run(plan.points, progress=progress)
+                tables[panel] = plan.merge([r.value for r in results])
+                events += sum(r.events for r in results)
+                kind_parts.extend(r.kinds for r in results)
+    finally:
+        if own_executor:
+            executor.close()
     wall = time.perf_counter() - start
 
+    kinds = merge_kinds(kind_parts)
     return BenchRecord(
         experiment=suite.bench_id,
         title=suite.title,
         tables={p: t.to_dict() for p, t in tables.items()},
         anchors=[a.to_dict() for a in suite.anchors(tables)],
         claims=[c.to_dict() for c in suite.claims(tables)],
-        layers=agg.layers(),
-        kinds=agg.kinds(),
+        layers=layers_from_kinds(kinds),
+        kinds=kinds,
         git_sha=git_sha(),
         seed=None,
         quick=quick,

@@ -28,6 +28,7 @@ from repro.bench.records import ExperimentTable, ratio
 
 __all__ = [
     "FIGURES",
+    "PLANS",
     "RUNTIME_HINT",
     "Anchor",
     "Claim",
@@ -38,51 +39,91 @@ __all__ = [
 ]
 
 
-def _figures() -> Dict[str, Callable]:
+def _panel_specs() -> Dict[str, tuple]:
+    """Panel id -> ``(serial driver, point-plan factory, base kwargs,
+    quick kwargs)``.
+
+    One table backs both :data:`FIGURES` (the serial drivers) and
+    :data:`PLANS` (the sweep decompositions the executor runs), so the
+    quick axes can never diverge between the two paths.
+    """
     from repro.bench import figures as f
-    from repro.bench import microbench as m
 
     return {
-        "kernel": lambda quick: m.kernel_suite(quick),
-        "2": lambda quick: f.fig2_message_size_economics(),
-        "4a": lambda quick: f.fig4a_latency(
-            sizes=[4, 256, 4096] if quick else None),
-        "4b": lambda quick: f.fig4b_bandwidth(
-            sizes=[2048, 16384, 65536] if quick else None),
-        "7a": lambda quick: f.fig7_update_rate_guarantee(
-            0.0, rates=[4.0, 3.25, 2.0] if quick else None,
-            frames=2 if quick else 3),
-        "7b": lambda quick: f.fig7_update_rate_guarantee(
-            18.0, rates=[3.25, 2.0] if quick else None,
-            frames=2 if quick else 3),
-        "8a": lambda quick: f.fig8_latency_guarantee(
-            0.0, bounds_us=[1000, 400, 100] if quick else None,
-            frames=2 if quick else 3),
-        "8b": lambda quick: f.fig8_latency_guarantee(
-            18.0, bounds_us=[1000, 400, 200] if quick else None,
-            frames=2 if quick else 3),
-        "9a": lambda quick: f.fig9_query_mix(
-            0.0, fractions=[0.0, 0.6, 1.0] if quick else None,
-            n_queries=6 if quick else 10),
-        "9b": lambda quick: f.fig9_query_mix(
-            18.0, fractions=[0.0, 1.0] if quick else None,
-            n_queries=6 if quick else 10),
-        "10": lambda quick: f.fig10_rr_reaction(
-            factors=[2, 10] if quick else None,
-            total_bytes=(4 if quick else 8) * 1024 * 1024),
-        "11": lambda quick: f.fig11_dd_heterogeneity(
-            probabilities=[0.1, 0.9] if quick else None,
-            factors=[2, 8] if quick else None,
-            total_bytes=(2 if quick else 8) * 1024 * 1024),
+        # fig2 is a closed-form model evaluation with no sweep axes, so
+        # it is exempt from quick mode by design: quick and full runs
+        # produce the same (instant) table.  Audited by
+        # tests/test_bench_executor.py::test_fig2_quick_equals_full.
+        "2": (f.fig2_message_size_economics, f.fig2_points, {}, {}),
+        "4a": (f.fig4a_latency, f.fig4a_points, {},
+               {"sizes": [4, 256, 4096]}),
+        "4b": (f.fig4b_bandwidth, f.fig4b_points, {},
+               {"sizes": [2048, 16384, 65536]}),
+        "7a": (f.fig7_update_rate_guarantee, f.fig7_points,
+               {"compute_ns_per_byte": 0.0},
+               {"rates": [4.0, 3.25, 2.0], "frames": 2}),
+        "7b": (f.fig7_update_rate_guarantee, f.fig7_points,
+               {"compute_ns_per_byte": 18.0},
+               {"rates": [3.25, 2.0], "frames": 2}),
+        "8a": (f.fig8_latency_guarantee, f.fig8_points,
+               {"compute_ns_per_byte": 0.0},
+               {"bounds_us": [1000, 400, 100], "frames": 2}),
+        "8b": (f.fig8_latency_guarantee, f.fig8_points,
+               {"compute_ns_per_byte": 18.0},
+               {"bounds_us": [1000, 400, 200], "frames": 2}),
+        "9a": (f.fig9_query_mix, f.fig9_points,
+               {"compute_ns_per_byte": 0.0},
+               {"fractions": [0.0, 0.6, 1.0], "n_queries": 6}),
+        "9b": (f.fig9_query_mix, f.fig9_points,
+               {"compute_ns_per_byte": 18.0},
+               {"fractions": [0.0, 1.0], "n_queries": 6}),
+        "10": (f.fig10_rr_reaction, f.fig10_points, {},
+               {"factors": [2, 10], "total_bytes": 4 * 1024 * 1024}),
+        "11": (f.fig11_dd_heterogeneity, f.fig11_points, {},
+               {"probabilities": [0.1, 0.9], "factors": [2, 8],
+                "total_bytes": 2 * 1024 * 1024}),
     }
 
 
-class _LazyFigures(dict):
-    """Figure registry that defers the (heavy) driver imports."""
+def _figures() -> Dict[str, Callable]:
+    from repro.bench import executor as x
+    from repro.bench import microbench as m
+
+    def serial(fn, base, quick_kwargs):
+        return lambda quick: fn(**base, **(quick_kwargs if quick else {}))
+
+    registry = {
+        panel: serial(fn, base, quick_kwargs)
+        for panel, (fn, _plan, base, quick_kwargs) in _panel_specs().items()
+    }
+    # Meta-suites: not figure sweeps themselves, so they run inline
+    # (no point plan) — the kernel suite times the host, the sweep
+    # suite times the executor.
+    registry["kernel"] = lambda quick: m.kernel_suite(quick)
+    registry["sweep"] = lambda quick: x.sweep_benchmark(quick)
+    return registry
+
+
+def _plans() -> Dict[str, Optional[Callable]]:
+    def plan(fn, base, quick_kwargs):
+        return lambda quick: fn(**base, **(quick_kwargs if quick else {}))
+
+    return {
+        panel: plan(plan_fn, base, quick_kwargs)
+        for panel, (_fn, plan_fn, base, quick_kwargs) in _panel_specs().items()
+    }
+
+
+class _LazyRegistry(dict):
+    """Panel registry that defers the (heavy) driver imports."""
+
+    def __init__(self, filler: Callable[[], dict]) -> None:
+        super().__init__()
+        self._filler = filler
 
     def _fill(self) -> None:
         if not super().__len__():
-            super().update(_figures())
+            super().update(self._filler())
 
     def __getitem__(self, key):
         self._fill()
@@ -100,6 +141,10 @@ class _LazyFigures(dict):
         self._fill()
         return super().__len__()
 
+    def get(self, key, default=None):
+        self._fill()
+        return super().get(key, default)
+
     def keys(self):
         self._fill()
         return super().keys()
@@ -109,14 +154,20 @@ class _LazyFigures(dict):
         return super().items()
 
 
-#: Panel id -> driver callable taking one ``quick`` flag.
-FIGURES: Dict[str, Callable] = _LazyFigures()
+#: Panel id -> serial driver callable taking one ``quick`` flag.
+FIGURES: Dict[str, Callable] = _LazyRegistry(_figures)
+
+#: Panel id -> point-plan factory taking one ``quick`` flag.  Panels
+#: absent here (``kernel``, ``sweep``) have no sweep decomposition and
+#: always run inline/serial, uncached (they measure the host).
+PLANS: Dict[str, Callable] = _LazyRegistry(_plans)
 
 #: Rough full-axis runtimes, shown by the ``list`` commands.
 RUNTIME_HINT = {
-    "2": "instant", "4a": "~1 min", "4b": "~3 min", "7a": "~3 min",
-    "7b": "~2.5 min", "8a": "~30 s", "8b": "~25 s", "9a": "~1 min",
-    "9b": "~1 min", "10": "~3 s", "11": "~11 s", "kernel": "~3 s",
+    "2": "instant", "4a": "~1 s", "4b": "~1 s", "7a": "~30 s",
+    "7b": "~30 s", "8a": "~20 s", "8b": "~20 s", "9a": "~30 s",
+    "9b": "~30 s", "10": "~1 s", "11": "~4 s", "kernel": "~3 s",
+    "sweep": "~2 min",
 }
 
 
@@ -476,6 +527,82 @@ def _kernel_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# sweep — point-sweep executor wall clock (not a paper figure; gates the
+# parallel/cached execution path every figure sweep runs on)
+# ---------------------------------------------------------------------------
+
+
+def _sweep_host_cpus(table: ExperimentTable) -> Optional[int]:
+    import re
+
+    for note in table.notes:
+        m = re.search(r"host_cpus=(\d+)", note)
+        if m:
+            return int(m.group(1))
+    return None
+
+
+def _sweep_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    table = tables.get("sweep")
+    if table is None:
+        return []
+    anchors: List[Anchor] = []
+    for sweep_id in table.column("sweep"):
+        # Dotted keys: the comparator treats the tail after the last
+        # "." as the metric name, so every *_s / speedup_* anchor lands
+        # in its wall-metric (warn-only) set.
+        for col in ("serial_s", "parallel_s", "warm_s",
+                    "speedup_parallel", "speedup_cache"):
+            value = _cell(table, "sweep", sweep_id, col)
+            anchors.append(Anchor(
+                f"{sweep_id}.{col}",
+                f"{sweep_id} sweep {col} (host wall clock, warn-only)",
+                None if value is None else float(value),
+                group="sweep", unit="s" if col.endswith("_s") else "x"))
+    points = _cell(table, "sweep", "TOTAL", "points")
+    events = _cell(table, "sweep", "TOTAL", "events")
+    anchors += [
+        Anchor("sweep_total_points",
+               "points executed across the fig04+fig08 sweeps (deterministic)",
+               None if points is None else float(points),
+               group="sweep", unit="points"),
+        Anchor("sweep_total_events",
+               "simulation events those points consumed (deterministic)",
+               None if events is None else float(events),
+               group="sweep", unit="events"),
+    ]
+    return anchors
+
+
+def _sweep_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    table = tables.get("sweep")
+    if table is None:
+        return []
+    identical = all(v == "yes" for v in table.column("identical"))
+    hits = _cell(table, "sweep", "TOTAL", "warm_hits")
+    points = _cell(table, "sweep", "TOTAL", "points")
+    warm_speedup = _cell(table, "sweep", "TOTAL", "speedup_cache")
+    par_speedup = _cell(table, "sweep", "TOTAL", "speedup_parallel")
+    cpus = _sweep_host_cpus(table)
+    return [
+        Claim("sweeps_bit_identical",
+              "parallel and fully-cached tables bit-identical to serial, "
+              "every sweep", identical, "sweep"),
+        Claim("warm_hits_full",
+              "fully-cached rerun hit the cache on every point",
+              hits is not None and hits == points, "sweep"),
+        Claim("warm_rerun_10x",
+              "fully-cached rerun >= 10x faster than the cold serial run",
+              warm_speedup is not None and warm_speedup >= 10, "sweep"),
+        Claim("parallel_2x_when_cores_allow",
+              "--jobs 4 >= 2x faster than serial (vacuous on hosts with "
+              "fewer than 4 CPUs — parallelism is core-bound)",
+              (cpus is not None and cpus < 4)
+              or (par_speedup is not None and par_speedup >= 2), "sweep"),
+    ]
+
+
 def _no_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
     return []
 
@@ -506,6 +633,9 @@ SUITES: Dict[str, BenchSuite] = {
                    _no_anchors, _fig11_claims),
         BenchSuite("kernel", "Simulation-kernel throughput micro-benchmarks",
                    ("kernel",), _kernel_anchors, _kernel_claims),
+        BenchSuite("sweep", "Point-sweep executor: serial vs parallel vs "
+                   "cached wall clock", ("sweep",),
+                   _sweep_anchors, _sweep_claims),
     )
 }
 

@@ -16,8 +16,13 @@ Commands
     sample of records.
 ``bench run|compare|report|list``
     The benchmark harness: run experiment suites into schema-versioned
-    ``BENCH_<experiment>.json`` records, gate them against the
-    committed baselines, and regenerate the experiment docs.
+    ``BENCH_<experiment>.json`` records (``--jobs N`` fans the figure
+    sweeps out over a process pool; results are memoized in the
+    content-addressed cache unless ``--no-cache``), gate them against
+    the committed baselines, and regenerate the experiment docs.
+``bench cache stats|clear``
+    Inspect or empty the content-addressed point-result cache under
+    ``benchmarks/cache/``.
 ``list``
     List available figures with their runtime class.
 """
@@ -151,6 +156,8 @@ def _resolve_experiments(names, for_run: bool) -> list:
 
 def cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import baselines, runner
+    from repro.bench.cache import ResultCache
+    from repro.bench.executor import SweepExecutor
 
     try:
         experiments = _resolve_experiments(args.experiments, for_run=True)
@@ -158,30 +165,59 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     out_dir = baselines.results_dir(args.results)
-    for exp in experiments:
-        record = runner.run_experiment(exp, quick=args.quick, progress=print)
-        for panel in sorted(record.tables):
-            print()
-            print(record.table(panel).render())
-        bad_anchors = [a for a in record.anchors if not a["ok"]]
-        bad_claims = [c for c in record.claims if not c["passed"]]
-        print(f"\n{exp}: {len(record.anchors)} anchors "
-              f"({len(bad_anchors)} outside paper tolerance), "
-              f"{len(record.claims)} claims "
-              f"({len(bad_claims)} failed), "
-              f"{sum(s['events'] for s in record.layers.values())} trace "
-              f"events in {record.wall_time_s:.1f} s")
-        for a in bad_anchors:
-            print(f"  ANCHOR MISS {a['key']}: paper {a['paper']}, "
-                  f"measured {a['measured']}")
-        for c in bad_claims:
-            print(f"  CLAIM FAILED {c['key']}: {c['description']}")
-        path = baselines.store_record(record, out_dir)
-        print(f"wrote {path}")
-        if args.update_baseline:
-            bpath = baselines.store_record(
-                record, baselines.baseline_dir(args.baselines))
-            print(f"updated baseline {bpath}")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    with SweepExecutor(jobs=args.jobs, cache=cache) as executor:
+        for exp in experiments:
+            record = runner.run_experiment(
+                exp, quick=args.quick, progress=print, executor=executor)
+            for panel in sorted(record.tables):
+                print()
+                print(record.table(panel).render())
+            bad_anchors = [a for a in record.anchors if not a["ok"]]
+            bad_claims = [c for c in record.claims if not c["passed"]]
+            print(f"\n{exp}: {len(record.anchors)} anchors "
+                  f"({len(bad_anchors)} outside paper tolerance), "
+                  f"{len(record.claims)} claims "
+                  f"({len(bad_claims)} failed), "
+                  f"{sum(s['events'] for s in record.layers.values())} trace "
+                  f"events in {record.wall_time_s:.1f} s "
+                  f"(jobs={executor.jobs})")
+            for a in bad_anchors:
+                print(f"  ANCHOR MISS {a['key']}: paper {a['paper']}, "
+                      f"measured {a['measured']}")
+            for c in bad_claims:
+                print(f"  CLAIM FAILED {c['key']}: {c['description']}")
+            path = baselines.store_record(record, out_dir)
+            print(f"wrote {path}")
+            if args.update_baseline:
+                bpath = baselines.store_record(
+                    record, baselines.baseline_dir(args.baselines))
+                print(f"updated baseline {bpath}")
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"in {cache.directory}")
+    return 0
+
+
+def cmd_bench_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps({k: stats[k] for k in
+                          ("directory", "entries", "total_bytes", "max_bytes")}))
+    else:
+        print(f"directory : {stats['directory']}")
+        print(f"entries   : {stats['entries']}")
+        print(f"size      : {stats['total_bytes']} / {stats['max_bytes']} bytes")
     return 0
 
 
@@ -320,6 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also copy the record into the baseline dir")
     pb_run.add_argument("--baselines", metavar="DIR", default=None,
                         help="baseline dir (default benchmarks/baselines)")
+    pb_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="point-sweep workers (default REPRO_JOBS or 1; "
+                             "0 = one per CPU)")
+    pb_run.add_argument("--no-cache", action="store_true",
+                        help="skip the content-addressed point-result cache")
+    pb_run.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache dir (default REPRO_BENCH_CACHE or "
+                             "benchmarks/cache)")
     pb_run.set_defaults(func=cmd_bench_run)
 
     pb_cmp = bsub.add_parser(
@@ -352,6 +396,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     pb_list = bsub.add_parser("list", help="list bench experiments")
     pb_list.set_defaults(func=cmd_bench_list)
+
+    pb_cache = bsub.add_parser(
+        "cache", help="inspect or clear the point-result cache"
+    )
+    pb_cache.set_defaults(func=lambda args: (pb_cache.print_help(), 1)[1])
+    csub = pb_cache.add_subparsers(dest="cache_command")
+    pc_stats = csub.add_parser("stats", help="entry count and size on disk")
+    pc_stats.add_argument("--cache-dir", metavar="DIR", default=None)
+    pc_stats.add_argument("--json", action="store_true",
+                          help="machine-readable output (used by CI)")
+    pc_stats.set_defaults(func=cmd_bench_cache, cache_command="stats")
+    pc_clear = csub.add_parser("clear", help="delete every cache entry")
+    pc_clear.add_argument("--cache-dir", metavar="DIR", default=None)
+    pc_clear.set_defaults(func=cmd_bench_cache, cache_command="clear")
     return parser
 
 
