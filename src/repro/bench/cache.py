@@ -15,8 +15,16 @@ Key anatomy (SHA-256 over a canonical JSON document)::
       "figure": "8a",             # panel the point belongs to
       "fn": "fig8_rate",          # registry name of the point function
       "params": {...},            # sort_keys canonical JSON kwargs
-      "code": "<fingerprint>"     # hash over src/repro/**/*.py + git sha
+      "code": "<fingerprint>",    # hash over src/repro/**/*.py + git sha
+      "faults": null              # ambient FaultPlan fingerprint, or null
     }
+
+The *faults* field is :func:`repro.faults.active_fingerprint` — ``None``
+unless the sweep runs inside ``with injecting(plan):`` — so results
+measured under an ambient fault plan can never be confused with
+fault-free ones (or with a different plan's).  Chaos points that carry
+their plan explicitly in ``params`` are already distinguished by it;
+this field covers ambient installation around a whole run.
 
 The *code fingerprint* hashes the installed ``repro`` package sources
 (sorted relative paths + file contents) together with
@@ -139,12 +147,15 @@ class ResultCache:
 
     def key(self, figure: str, fn: str, params: Dict[str, Any]) -> str:
         """SHA-256 cache key for one point (see module docstring)."""
+        from repro.faults import active_fingerprint
+
         doc = {
             "cache_schema": CACHE_SCHEMA_VERSION,
             "figure": figure,
             "fn": fn,
             "params": params,
             "code": code_fingerprint(),
+            "faults": active_fingerprint(),
         }
         canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()

@@ -110,25 +110,34 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
-def execute_point(spec: Tuple[str, str, Dict[str, Any]]) -> Dict[str, Any]:
+def execute_point(spec: Tuple) -> Dict[str, Any]:
     """Run one point under its own tracer; the shared worker function.
 
     Executed in-process (serial backend) and in pool workers (process
     backend) alike, so both produce the same per-point profile.  The
     value is canonicalized through a JSON round-trip, making a fresh
     result bit-identical to one later read back from the cache.
+
+    *spec* is ``(figure, fn, params)``, optionally extended with a
+    fourth element: the ambient :class:`~repro.faults.FaultPlan` as a
+    dict.  The executor ships it when a sweep runs inside ``with
+    injecting(plan):`` so pool workers — separate processes that never
+    saw the parent's ambient state — reinstall the same plan.
     """
     from repro.bench.figures import POINT_FNS
     from repro.bench.runner import TraceAggregator
+    from repro.faults import FaultPlan, injecting
     from repro.sim.core import global_events_processed
     from repro.sim.trace import Tracer, tracing
 
-    figure, fn, params = spec
+    figure, fn, params = spec[:3]
+    plan_dict = spec[3] if len(spec) > 3 else None
+    plan = None if plan_dict is None else FaultPlan.from_dict(plan_dict)
     agg = TraceAggregator()
     tracer = Tracer()
     tracer.subscribe("", agg)
     before = global_events_processed()
-    with tracing(tracer, record=False):
+    with injecting(plan), tracing(tracer, record=False):
         value = POINT_FNS[fn](**params)
     return {
         "value": json.loads(json.dumps(value)),
@@ -222,7 +231,15 @@ class SweepExecutor:
                      f"{len(points) - len(pending)} cached, "
                      f"{len(pending)} to run (jobs={self.jobs})")
         if pending:
+            from repro.faults import active_plan
+
+            ambient = active_plan()
+            if ambient is not None and not ambient.is_empty:
+                extra = (ambient.to_dict(),)
+            else:
+                extra = ()
             specs = [(points[i].figure, points[i].fn, dict(points[i].params))
+                     + extra
                      for i in pending]
             if self.jobs > 1 and len(pending) > 1:
                 outs = list(self._ensure_pool().map(execute_point, specs))

@@ -69,6 +69,8 @@ __all__ = [
     "fig9_query_mix",
     "fig10_rr_reaction",
     "fig11_dd_heterogeneity",
+    "chaos8_update_rate",
+    "chaos11_crash_recovery",
     "fig2_points",
     "fig4a_points",
     "fig4b_points",
@@ -77,6 +79,8 @@ __all__ = [
     "fig9_points",
     "fig10_points",
     "fig11_points",
+    "chaos8_points",
+    "chaos11_points",
     "POINT_FNS",
     "MICRO_SIZES_LATENCY",
     "MICRO_SIZES_BANDWIDTH",
@@ -86,6 +90,9 @@ __all__ = [
     "FIG10_FACTORS",
     "FIG11_PROBABILITIES",
     "FIG11_FACTORS",
+    "CHAOS8_BOUNDS_US",
+    "CHAOS11_PROBABILITIES",
+    "CHAOS11_FACTOR",
 ]
 
 #: Figure 4(a) x-axis: 4 bytes .. 4 KB.
@@ -792,6 +799,265 @@ def fig11_points(
     return PointPlan("11", points, merge)
 
 
+# ---------------------------------------------------------------------------
+# Chaos suite: Figures 8 and 11 re-measured under calibrated fault plans
+# ---------------------------------------------------------------------------
+#
+# Not a paper figure: the chaos panels re-run two representative
+# experiments under the named fault plans in ``repro.faults.presets``
+# and place faulted and fault-free legs side by side, so the committed
+# baseline records how much performance fault injection costs and that
+# the resilience machinery (graceful degradation, crash replay) keeps
+# every run terminating.  Fault-free legs reuse the plain Figure 8/11
+# point functions with identical params, so they share cache entries
+# with the ``fig08``/``fig11`` suites; chaos legs carry their plan as a
+# ``fault_plan`` param — the plan is part of the point's content, hence
+# part of its cache key.
+
+
+#: Chaos Figure 8 leg: latency bounds re-measured under chaos-fig8.
+CHAOS8_BOUNDS_US = [1000, 400, 200]
+#: Chaos Figure 11 leg: P(slow) axis, heterogeneity factor fixed at 4.
+CHAOS11_PROBABILITIES = [0.1, 0.5, 0.9]
+CHAOS11_FACTOR = 4
+
+_CHAOS8_NOTE = (
+    "chaos-fig8 plan: viz sink's cLAN receive side flaps 30 ms of every "
+    "100 ms; clip host node04 computes 8x slower throughout (DD routes "
+    "around it) — expect a bounded update-rate loss, not a collapse"
+)
+_CHAOS11_NOTE = (
+    "chaos-fig11 plan: worker01 crashes at 10 ms and restarts at 30 ms; "
+    "DD reroutes around the dead copy and its deferred blocks replay at "
+    "restart — every block is still processed"
+)
+
+
+def _plan_dict(preset_name: str) -> Dict[str, Any]:
+    from repro.faults import get_preset
+
+    return get_preset(preset_name).to_dict()
+
+
+def chaos8_rate(protocol: str, block: int, compute_ns_per_byte: float,
+                frames: int, fault_plan: Dict[str, Any]) -> float:
+    """Point: :func:`fig8_rate` measured under an injected fault plan."""
+    from repro.faults import FaultPlan, injecting
+
+    with injecting(FaultPlan.from_dict(fault_plan)):
+        return fig8_rate(protocol, block, compute_ns_per_byte, frames)
+
+
+def chaos11_cell(prob: float, factor: int, protocol: str, total_bytes: int,
+                 compute_ns_per_byte: float,
+                 fault_plan: Dict[str, Any]) -> List[float]:
+    """Point: :func:`fig11_cell` under an injected fault plan.
+
+    Returns ``[execution_time_us, crashed_share, peer_share]``:
+    ``crashed_share`` is the fraction of all blocks the plan's crashed
+    worker(s) processed, ``peer_share`` the per-worker average of the
+    healthy workers that are neither crashed nor the figure's slow
+    node.  Crashed and peer workers gain from worker-``_SLOW_INDEX``'s
+    slowness symmetrically, so the crash shows as ``crashed_share <
+    peer_share`` at every P(slow) — a comparison against the fair share
+    1/n would drown in the slow-node effect on long runs.
+    """
+    from repro.faults import FaultPlan, injecting
+
+    plan = FaultPlan.from_dict(fault_plan)
+    cfg = LoadBalanceConfig(
+        protocol=protocol,
+        policy="dd",
+        block_bytes=paper_block_size(protocol),
+        total_bytes=total_bytes,
+        compute_ns_per_byte=compute_ns_per_byte,
+        slow_workers={_SLOW_INDEX: RandomSlowdown(factor, prob)},
+    )
+    with injecting(plan):
+        res = run_loadbalance(cfg)
+    crashed_idx = [
+        int(name[len("worker"):])
+        for name, hf in plan.hosts.items()
+        if hf.crash_at is not None and name.startswith("worker")
+    ]
+    peer_idx = [
+        i for i in range(len(res.sent_counts))
+        if i not in crashed_idx and i != _SLOW_INDEX
+    ]
+    total = sum(res.sent_counts)
+    crashed = sum(res.sent_counts[i] for i in crashed_idx)
+    peer = sum(res.sent_counts[i] for i in peer_idx)
+    return [
+        float(to_usec(res.execution_time)),
+        crashed / total if total else 0.0,
+        peer / (len(peer_idx) * total) if total and peer_idx else 0.0,
+    ]
+
+
+def _chaos8_table() -> ExperimentTable:
+    return ExperimentTable(
+        "c8",
+        "Figure 8 updates/s (18 ns/B) — fault-free vs the chaos-fig8 plan",
+        ["latency_us", "tcp_block", "TCP", "TCP_chaos",
+         "sv_block", "SocketVIA", "SocketVIA_chaos"],
+    )
+
+
+def _chaos11_table() -> ExperimentTable:
+    return ExperimentTable(
+        "c11",
+        "Figure 11 DD execution time (us), factor 4 — fault-free vs the "
+        "chaos-fig11 plan",
+        ["prob_slow_pct",
+         "SocketVIA", "SocketVIA_chaos", "sv_crashed_share", "sv_peer_share",
+         "TCP", "TCP_chaos", "tcp_crashed_share", "tcp_peer_share"],
+    )
+
+
+def chaos8_update_rate(
+    compute_ns_per_byte: float = 18.0,
+    bounds_us=None,
+    frames: int = 3,
+) -> ExperimentTable:
+    """Chaos panel c8: Figure 8 updates/s, fault-free next to the
+    chaos-fig8 plan, per latency bound."""
+    bounds_us = bounds_us or CHAOS8_BOUNDS_US
+    plan_dict = _plan_dict("chaos-fig8")
+    table = _chaos8_table()
+
+    cache = {}
+
+    def rate_for(protocol, block, chaos):
+        key = (protocol, block, chaos)
+        if key not in cache:
+            if chaos:
+                cache[key] = chaos8_rate(protocol, block,
+                                         compute_ns_per_byte, frames,
+                                         plan_dict)
+            else:
+                cache[key] = fig8_rate(protocol, block,
+                                       compute_ns_per_byte, frames)
+        return cache[key]
+
+    for bound, b_tcp, b_sv in _fig8_blocks(compute_ns_per_byte, bounds_us):
+        table.add_row(
+            bound, b_tcp,
+            rate_for("tcp", b_tcp, False) if b_tcp else None,
+            rate_for("tcp", b_tcp, True) if b_tcp else None,
+            b_sv,
+            rate_for("socketvia", b_sv, False) if b_sv else None,
+            rate_for("socketvia", b_sv, True) if b_sv else None)
+    table.add_note(_CHAOS8_NOTE)
+    return table
+
+
+def chaos8_points(
+    compute_ns_per_byte: float = 18.0,
+    bounds_us=None,
+    frames: int = 3,
+) -> PointPlan:
+    """Panel c8 as points; fault-free legs are plain Figure 8 points
+    (same fn, figure, and params — shared cache entries)."""
+    bounds_us = [int(b) for b in (bounds_us or CHAOS8_BOUNDS_US)]
+    plan_dict = _plan_dict("chaos-fig8")
+    base_figure = "8b" if compute_ns_per_byte else "8a"
+    blocks = _fig8_blocks(compute_ns_per_byte, bounds_us)
+    triples: List[tuple] = []
+    for _, b_tcp, b_sv in blocks:
+        for protocol, block in (("tcp", b_tcp), ("socketvia", b_sv)):
+            if block:
+                for chaos in (False, True):
+                    if (protocol, block, chaos) not in triples:
+                        triples.append((protocol, block, chaos))
+    points = []
+    for protocol, block, chaos in triples:
+        params = {"protocol": protocol, "block": int(block),
+                  "compute_ns_per_byte": float(compute_ns_per_byte),
+                  "frames": int(frames)}
+        if chaos:
+            points.append(Point("c8", "chaos8_rate",
+                                {**params, "fault_plan": plan_dict}))
+        else:
+            points.append(Point(base_figure, "fig8_rate", params))
+
+    def merge(values: List[Any]) -> ExperimentTable:
+        rate = dict(zip(triples, values))
+        table = _chaos8_table()
+        for bound, b_tcp, b_sv in blocks:
+            table.add_row(
+                bound, b_tcp,
+                rate[("tcp", b_tcp, False)] if b_tcp else None,
+                rate[("tcp", b_tcp, True)] if b_tcp else None,
+                b_sv,
+                rate[("socketvia", b_sv, False)] if b_sv else None,
+                rate[("socketvia", b_sv, True)] if b_sv else None)
+        table.add_note(_CHAOS8_NOTE)
+        return table
+
+    return PointPlan("c8", points, merge)
+
+
+def chaos11_crash_recovery(
+    probabilities=None,
+    factor: int = CHAOS11_FACTOR,
+    total_bytes: int = PAPER_IMAGE_BYTES // 2,
+    compute_ns_per_byte: float = 90.0,
+) -> ExperimentTable:
+    """Chaos panel c11: Figure 11's DD sweep, fault-free next to the
+    chaos-fig11 plan (worker crash + restart mid-run)."""
+    probabilities = probabilities or CHAOS11_PROBABILITIES
+    plan_dict = _plan_dict("chaos-fig11")
+    table = _chaos11_table()
+    for prob in probabilities:
+        row = [int(prob * 100)]
+        for proto in ("socketvia", "tcp"):
+            base = fig11_cell(prob, factor, proto, total_bytes,
+                              compute_ns_per_byte)
+            chaos = chaos11_cell(prob, factor, proto, total_bytes,
+                                 compute_ns_per_byte, plan_dict)
+            row += [base, chaos[0], chaos[1], chaos[2]]
+        table.add_row(*row)
+    table.add_note(_CHAOS11_NOTE)
+    return table
+
+
+def chaos11_points(
+    probabilities=None,
+    factor: int = CHAOS11_FACTOR,
+    total_bytes: int = PAPER_IMAGE_BYTES // 2,
+    compute_ns_per_byte: float = 90.0,
+) -> PointPlan:
+    """Panel c11 as points; fault-free legs are plain Figure 11 points."""
+    probabilities = [float(p)
+                     for p in (probabilities or CHAOS11_PROBABILITIES)]
+    factor = int(factor)
+    plan_dict = _plan_dict("chaos-fig11")
+    points = []
+    for prob in probabilities:
+        for proto in ("socketvia", "tcp"):
+            params = {"prob": prob, "factor": factor, "protocol": proto,
+                      "total_bytes": int(total_bytes),
+                      "compute_ns_per_byte": float(compute_ns_per_byte)}
+            points.append(Point("11", "fig11_cell", params))
+            points.append(Point("c11", "chaos11_cell",
+                                {**params, "fault_plan": plan_dict}))
+
+    def merge(values: List[Any]) -> ExperimentTable:
+        table = _chaos11_table()
+        it = iter(values)
+        for prob in probabilities:
+            row = [int(prob * 100)]
+            for _proto in ("socketvia", "tcp"):
+                base = next(it)
+                chaos = next(it)
+                row += [base, chaos[0], chaos[1], chaos[2]]
+            table.add_row(*row)
+        table.add_note(_CHAOS11_NOTE)
+        return table
+
+    return PointPlan("c11", points, merge)
+
+
 #: Registry of pure point functions, keyed by the name stored in each
 #: :class:`~repro.bench.executor.Point` — the unit a process-pool task
 #: executes and a cache entry is addressed by.  Names are part of the
@@ -805,4 +1071,6 @@ POINT_FNS: Dict[str, Any] = {
     "fig9_cell": fig9_cell,
     "fig10_cell": fig10_cell,
     "fig11_cell": fig11_cell,
+    "chaos8_rate": chaos8_rate,
+    "chaos11_cell": chaos11_cell,
 }

@@ -82,6 +82,16 @@ def _panel_specs() -> Dict[str, tuple]:
         "11": (f.fig11_dd_heterogeneity, f.fig11_points, {},
                {"probabilities": [0.1, 0.9], "factors": [2, 8],
                 "total_bytes": 2 * 1024 * 1024}),
+        # Chaos panels: Figures 8 and 11 re-measured under the named
+        # fault plans in repro.faults.presets, fault-free legs side by
+        # side (those reuse the plain fig8/fig11 points, sharing their
+        # cache entries).
+        "c8": (f.chaos8_update_rate, f.chaos8_points,
+               {"compute_ns_per_byte": 18.0},
+               {"bounds_us": [1000, 200], "frames": 2}),
+        "c11": (f.chaos11_crash_recovery, f.chaos11_points, {},
+                {"probabilities": [0.1, 0.9],
+                 "total_bytes": 2 * 1024 * 1024}),
     }
 
 
@@ -166,8 +176,8 @@ PLANS: Dict[str, Callable] = _LazyRegistry(_plans)
 RUNTIME_HINT = {
     "2": "instant", "4a": "~1 s", "4b": "~1 s", "7a": "~30 s",
     "7b": "~30 s", "8a": "~20 s", "8b": "~20 s", "9a": "~30 s",
-    "9b": "~30 s", "10": "~1 s", "11": "~4 s", "kernel": "~3 s",
-    "sweep": "~2 min",
+    "9b": "~30 s", "10": "~1 s", "11": "~4 s", "c8": "~30 s",
+    "c11": "~10 s", "kernel": "~3 s", "sweep": "~2 min",
 }
 
 
@@ -476,6 +486,103 @@ def _fig11_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
 
 
 # ---------------------------------------------------------------------------
+# chaos — Figures 8 and 11 under calibrated fault plans (not a paper
+# figure; gates the fault-injection and resilience machinery in
+# repro.faults, see docs/RESILIENCE.md)
+# ---------------------------------------------------------------------------
+
+
+def _chaos_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    anchors: List[Anchor] = []
+    c8 = tables.get("c8")
+    if c8 is not None:
+        # Bound 1000 us is on both the full and --quick axes.
+        for proto in ("TCP", "SocketVIA"):
+            base = _cell(c8, "latency_us", 1000, proto)
+            chaos = _cell(c8, "latency_us", 1000, f"{proto}_chaos")
+            anchors.append(Anchor(
+                f"chaos8_{proto.lower()}_rate_retention",
+                f"{proto} update rate under chaos-fig8 / fault-free "
+                "(1000 us bound)",
+                ratio(chaos, base), group="c8", unit="frac"))
+    c11 = tables.get("c11")
+    if c11 is not None:
+        # P(slow)=10% is on both the full and --quick axes.
+        anchors += [
+            Anchor("chaos11_sv_crash_overhead",
+                   "SocketVIA execution time with worker crash+restart / "
+                   "fault-free (P(slow)=0.1)",
+                   ratio(_cell(c11, "prob_slow_pct", 10, "SocketVIA_chaos"),
+                         _cell(c11, "prob_slow_pct", 10, "SocketVIA")),
+                   group="c11", unit="x"),
+            Anchor("chaos11_sv_crashed_share",
+                   "share of blocks the crashed worker still processed "
+                   "(SocketVIA, P(slow)=0.1)",
+                   _cell(c11, "prob_slow_pct", 10, "sv_crashed_share"),
+                   group="c11", unit="frac"),
+        ]
+    return anchors
+
+
+def _chaos_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    claims: List[Claim] = []
+    c8 = tables.get("c8")
+    if c8 is not None:
+        cells = [
+            (base, chaos)
+            for proto in ("TCP", "SocketVIA")
+            for base, chaos in zip(c8.column(proto),
+                                   c8.column(f"{proto}_chaos"))
+            if base is not None and chaos is not None
+        ]
+        claims += [
+            Claim("chaos8_faults_degrade_rate",
+                  "fault injection lowers the measured update rate, "
+                  "every cell",
+                  all(chaos < base for base, chaos in cells), "c8"),
+            Claim("chaos8_degradation_bounded",
+                  "chaos keeps at least half the fault-free update rate "
+                  "(graceful degradation, not collapse)",
+                  all(chaos >= 0.5 * base for base, chaos in cells), "c8"),
+        ]
+    c11 = tables.get("c11")
+    if c11 is not None:
+        pairs = [
+            (base, chaos)
+            for proto in ("SocketVIA", "TCP")
+            for base, chaos in zip(c11.column(proto),
+                                   c11.column(f"{proto}_chaos"))
+        ]
+        shares = c11.column("sv_crashed_share") + c11.column("tcp_crashed_share")
+        # Crashed vs peer, not vs the fair share 1/n: the crashed worker
+        # and its healthy peer gain from the slow node's slowness
+        # symmetrically, so only the crash separates their shares.
+        share_pairs = [
+            (crashed, peer)
+            for p in ("sv", "tcp")
+            for crashed, peer in zip(c11.column(f"{p}_crashed_share"),
+                                     c11.column(f"{p}_peer_share"))
+        ]
+        claims += [
+            Claim("chaos11_crash_overhead_bounded",
+                  "worker crash+restart costs time but never doubles it "
+                  "(demand-driven rescheduling absorbs the outage)",
+                  all(base < chaos <= 2 * base for base, chaos in pairs),
+                  "c11"),
+            Claim("chaos11_dd_routes_around_crash",
+                  "the crashed worker processes fewer blocks than its "
+                  "healthy peer at every P(slow)",
+                  all(crashed < peer for crashed, peer in share_pairs),
+                  "c11"),
+            Claim("chaos11_crashed_worker_rejoins",
+                  "the crashed worker keeps a substantial share of blocks "
+                  "at every P(slow) (it rejoined at restart)",
+                  all(0.2 < s < 0.5 for s in shares), "c11"),
+        ]
+    return claims
+
+
+# ---------------------------------------------------------------------------
 # kernel — simulation-kernel throughput (not a paper figure; gates the
 # event-loop fast path that every figure reproduction runs on)
 # ---------------------------------------------------------------------------
@@ -631,6 +738,9 @@ SUITES: Dict[str, BenchSuite] = {
         BenchSuite("fig11", "Demand-driven scheduling under dynamic "
                    "slowdown (Figure 11)", ("11",),
                    _no_anchors, _fig11_claims),
+        BenchSuite("chaos", "Figures 8 and 11 under calibrated fault "
+                   "plans (fault injection + resilience)", ("c8", "c11"),
+                   _chaos_anchors, _chaos_claims),
         BenchSuite("kernel", "Simulation-kernel throughput micro-benchmarks",
                    ("kernel",), _kernel_anchors, _kernel_claims),
         BenchSuite("sweep", "Point-sweep executor: serial vs parallel vs "

@@ -294,6 +294,30 @@ def cmd_bench_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.errors import FaultPlanError
+    from repro.faults import get_preset, preset_names
+
+    if args.faults_command == "describe":
+        try:
+            plan = get_preset(args.plan)
+        except FaultPlanError as exc:
+            print(f"error: {exc}")
+            return 1
+        print(plan.describe())
+        return 0
+    print("named fault plans (python -m repro faults describe <name>):")
+    for name in preset_names():
+        plan = get_preset(name)
+        summary = ("empty" if plan.is_empty else
+                   f"{len(plan.links)} link pattern(s), "
+                   f"{len(plan.hosts)} host(s)")
+        print(f"  {name:<14} seed={plan.seed:<3} {summary}")
+    print("use: with injecting(get_preset(name)): ...   "
+          "(see docs/RESILIENCE.md)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -410,6 +434,19 @@ def build_parser() -> argparse.ArgumentParser:
     pc_clear = csub.add_parser("clear", help="delete every cache entry")
     pc_clear.add_argument("--cache-dir", metavar="DIR", default=None)
     pc_clear.set_defaults(func=cmd_bench_cache, cache_command="clear")
+
+    p_faults = sub.add_parser(
+        "faults", help="list or describe the named fault plans"
+    )
+    p_faults.set_defaults(func=cmd_faults, faults_command="list")
+    fsub = p_faults.add_subparsers(dest="faults_command")
+    pf_list = fsub.add_parser("list", help="list the preset fault plans")
+    pf_list.set_defaults(func=cmd_faults, faults_command="list")
+    pf_desc = fsub.add_parser(
+        "describe", help="print one plan's faults and fingerprint"
+    )
+    pf_desc.add_argument("plan", help="plan name, e.g. chaos-fig8")
+    pf_desc.set_defaults(func=cmd_faults, faults_command="describe")
     return parser
 
 

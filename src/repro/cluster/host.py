@@ -72,6 +72,14 @@ class Host:
         #: Trace sink inherited by every stack/NIC built on this host
         #: (the owning cluster points it at its own tracer).
         self.tracer: Tracer = NULL_TRACER
+        #: True while a fault-plan crash window is in effect (see
+        #: ``repro.faults``); fault-free runs never flip it.
+        self.crashed = False
+        #: Per-host crash state installed by a
+        #: :class:`~repro.faults.injector.FaultInjector`; transport
+        #: stacks pick it up at construction and gate their receive
+        #: enqueue on it (None = fault-free fast path).
+        self.fault_state = None
         #: NICs attached by transports, keyed by an arbitrary label
         #: ("via", "ethernet", ...).
         self.nics: Dict[str, Any] = {}

@@ -94,6 +94,10 @@ class LinkDirection:
         self.sim = sim
         self.name = name
         self.tracer = tracer
+        #: Per-link fault state installed by a
+        #: :class:`~repro.faults.injector.FaultInjector` (None on the
+        #: fault-free fast path: delivery pays one attribute check).
+        self.faults = None
         self._deliver = deliver
         #: Called the instant a transmission starts occupying the wire
         #: (the switch's cut-through routing hook).
@@ -193,7 +197,11 @@ class LinkDirection:
             else:
                 self._busy = False
         if self._deliver is not None:
-            self._deliver(tx)
+            faults = self.faults
+            if faults is not None:
+                faults.deliver(tx)
+            else:
+                self._deliver(tx)
 
     def _start(self, tx: Transmission) -> None:
         self._busy = True
@@ -223,7 +231,11 @@ class LinkDirection:
         else:
             self._busy = False
         if self._deliver is not None:
-            self._deliver(tx)
+            faults = self.faults
+            if faults is not None:
+                faults.deliver(tx)
+            else:
+                self._deliver(tx)
 
     def utilization(self) -> float:
         """Fraction of elapsed simulated time this direction was busy."""

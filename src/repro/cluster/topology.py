@@ -28,6 +28,15 @@ from repro.cluster.link import Port, Switch
 __all__ = ["Cluster", "paper_testbed"]
 
 
+def _active_fault_plan():
+    """The ambient fault plan, without importing ``repro.faults`` at
+    module load (the plan module is dependency-free, so this lazy hop
+    only exists to keep cluster importable before faults)."""
+    from repro.faults.plan import active_plan
+
+    return active_plan()
+
+
 class Cluster:
     """A simulator plus named hosts plus named switch fabrics."""
 
@@ -45,6 +54,17 @@ class Cluster:
         self.tracer.bind_clock(lambda: self.sim.now)
         self.hosts: Dict[str, Host] = {}
         self._fabrics: Dict[str, Switch] = {}
+        # Same adoption pattern for the ambient fault plan (``with
+        # injecting(plan):`` — see repro.faults): a non-empty plan
+        # builds an injector that attaches fault state as hosts and
+        # fabrics are added.  ``faults`` stays None on fault-free runs,
+        # and every downstream hook keys off that.
+        self.faults = None
+        plan = _active_fault_plan()
+        if plan is not None and not plan.is_empty:
+            from repro.faults.injector import FaultInjector
+
+            self.faults = FaultInjector(plan, self)
 
     # -- hosts -------------------------------------------------------------------
 
@@ -72,7 +92,11 @@ class Cluster:
         host.tracer = self.tracer
         self.hosts[name] = host
         for fabric in self._fabrics.values():
-            fabric.add_port(name)
+            port = fabric.add_port(name)
+            if self.faults is not None:
+                self.faults.attach_port(fabric, port)
+        if self.faults is not None:
+            self.faults.attach_host(host)
         return host
 
     def add_hosts(self, prefix: str, count: int, **kwargs) -> List[Host]:
@@ -99,7 +123,9 @@ class Cluster:
         )
         self._fabrics[name] = switch
         for host_name in self.hosts:
-            switch.add_port(host_name)
+            port = switch.add_port(host_name)
+            if self.faults is not None:
+                self.faults.attach_port(switch, port)
         return switch
 
     def fabric(self, name: str) -> Switch:

@@ -241,7 +241,81 @@ class AppInstance:
             yield self.sim.all_of(setup_procs)
         for copy in self._copies.values():
             yield from maybe_generator(copy.filter.init(copy.ctx))
+        self._wire_fault_handlers()
         self.started = True
+
+    def _wire_fault_handlers(self) -> None:
+        """Subscribe to the cluster's fault injector (if any): a host
+        crash writes its filter copies out of every feeding scheduler;
+        the restart writes them back in.  Demand-driven producers route
+        around the dead copy immediately; round-robin drops it from the
+        rotation (graceful degradation, paper Section 4.1 machinery
+        under failure)."""
+        faults = getattr(self.runtime.cluster, "faults", None)
+        if faults is None:
+            return
+        for (name, idx), copy in self._copies.items():
+            host_name = copy.ctx.host.name
+            faults.on_crash(
+                host_name,
+                lambda n=name, i=idx: self.mark_copy_dead(n, i),
+            )
+            faults.on_restart(
+                host_name,
+                lambda n=name, i=idx: self.mark_copy_alive(n, i),
+            )
+
+    # -- graceful degradation ------------------------------------------------------------
+
+    def _schedulers_feeding(self, filter_name: str):
+        """Every producer-side scheduler that routes buffers to copies
+        of *filter_name*."""
+        for stream in self.group.streams:
+            if stream.consumer != filter_name:
+                continue
+            producer = self.group.filters[stream.producer]
+            for i in range(producer.copies):
+                yield self._schedulers[(stream.producer, i, stream.name)]
+
+    def mark_copy_dead(
+        self, filter_name: str, index: int, drop_outstanding: bool = False
+    ) -> None:
+        """Stop routing buffers to copy ``filter_name[index]`` on every
+        stream feeding it (its host crashed)."""
+        for sched in self._schedulers_feeding(filter_name):
+            sched.mark_dead(index, drop_outstanding=drop_outstanding)
+        tracer = self.runtime.cluster.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "faults.reschedule", group=self.group.name,
+                filter=filter_name, copy=index, action="dead",
+            )
+
+    def mark_copy_alive(self, filter_name: str, index: int) -> None:
+        """Resume routing to copy ``filter_name[index]`` (host restart;
+        the transport layer has already replayed its backlog)."""
+        for sched in self._schedulers_feeding(filter_name):
+            sched.mark_alive(index)
+        tracer = self.runtime.cluster.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "faults.reschedule", group=self.group.name,
+                filter=filter_name, copy=index, action="alive",
+            )
+
+    def restart_copy(
+        self, filter_name: str, index: int, reinit: bool = False
+    ) -> Generator[Event, Any, None]:
+        """Manually bring copy ``filter_name[index]`` back into service:
+        optionally re-run its filter ``init`` (a fresh filter process
+        after a crash), then mark it alive in every feeding scheduler.
+        Stream connections are untouched — the simulated NIC queue
+        survives a blackout, so existing sockets resume (see
+        docs/RESILIENCE.md for the crash model)."""
+        copy = self.copy(filter_name, index)
+        if reinit:
+            yield from maybe_generator(copy.filter.init(copy.ctx))
+        self.mark_copy_alive(filter_name, index)
 
     def run_uow(self, payload: Any = None) -> Generator[Event, Any, UnitOfWork]:
         """Run one unit of work through every filter copy; returns it

@@ -63,6 +63,11 @@ class WriteScheduler:
         self.last_send_at: List[float] = [0.0] * n_consumers
         self.last_ack_at: List[float] = [0.0] * n_consumers
         self.ack_delay: List[Tally] = [Tally(f"ack_delay[{i}]") for i in range(n_consumers)]
+        #: Copies currently written off by graceful degradation (see
+        #: repro.faults): dead copies never receive new buffers.
+        self.dead: List[bool] = [False] * n_consumers
+        #: Buffers written off by mark_dead(drop_outstanding=True).
+        self.lost_counts: List[int] = [0] * n_consumers
         self._waiters: List[Event] = []
 
     # -- acquisition -------------------------------------------------------------------
@@ -71,6 +76,10 @@ class WriteScheduler:
         """Block until the policy can place a buffer; returns the
         consumer index with its slot reserved."""
         while True:
+            if all(self.dead):
+                raise DataCutterError(
+                    "all consumer copies are dead; cannot place buffer"
+                )
             idx = self._pick()
             if idx is not None:
                 self.unacked[idx] += 1
@@ -98,13 +107,40 @@ class WriteScheduler:
         for w in waiters:
             w.succeed()
 
+    # -- graceful degradation (see repro.faults) ------------------------------
+
+    def mark_dead(self, idx: int, drop_outstanding: bool = False) -> None:
+        """Stop routing buffers to copy *idx* (its host crashed).
+
+        By default in-flight (unacknowledged) buffers keep their slots
+        — they complete when the host restarts and replays its backlog.
+        With *drop_outstanding* they are written off into
+        ``lost_counts`` and their slots freed (a restarted filter that
+        will not resume old work).  Waiters are woken either way so the
+        policy can re-route pending sends around the dead copy.
+        """
+        if not 0 <= idx < self.n_consumers:
+            raise DataCutterError(f"mark_dead on unknown consumer {idx}")
+        self.dead[idx] = True
+        if drop_outstanding and self.unacked[idx]:
+            self.lost_counts[idx] += self.unacked[idx]
+            self.unacked[idx] = 0
+        self._wake()
+
+    def mark_alive(self, idx: int) -> None:
+        """Copy *idx* is back (host restart): resume routing to it."""
+        if not 0 <= idx < self.n_consumers:
+            raise DataCutterError(f"mark_alive on unknown consumer {idx}")
+        self.dead[idx] = False
+        self._wake()
+
     # -- policy ---------------------------------------------------------------------------
 
     def _pick(self) -> Optional[int]:
         raise NotImplementedError
 
     def _has_room(self, idx: int) -> bool:
-        return self.unacked[idx] < self.max_outstanding
+        return not self.dead[idx] and self.unacked[idx] < self.max_outstanding
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<{type(self).__name__} unacked={self.unacked}>"
@@ -120,6 +156,10 @@ class RoundRobinScheduler(WriteScheduler):
         self._next = 0
 
     def _pick(self) -> Optional[int]:
+        # Dead copies drop out of the rotation entirely (degradation);
+        # the head-of-line rule applies only to the next *live* copy.
+        while self.dead[self._next]:
+            self._next = (self._next + 1) % self.n_consumers
         if self._has_room(self._next):
             idx = self._next
             self._next = (self._next + 1) % self.n_consumers

@@ -83,8 +83,38 @@ class ProtocolError(NetworkError):
     """Violation of a transport protocol invariant (credits, descriptors)."""
 
 
+class ConnectTimeout(NetworkError):
+    """A connection attempt exceeded its timeout (no retry configured)."""
+
+
+class ReceiveTimeout(NetworkError):
+    """``recv_message(timeout=...)`` expired before a message arrived."""
+
+
+class RetryExhausted(NetworkError):
+    """Every attempt of a :class:`repro.faults.retry.RetryPolicy` timed
+    out.  Carries the diagnosis the caller needs: ``attempts`` actually
+    made and the ``backoff`` delays waited between them."""
+
+    def __init__(self, message: str, attempts: int = 0,
+                 backoff: tuple = ()) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.backoff = tuple(backoff)
+
+
 class ViaError(ProtocolError):
     """VIA-provider specific failure (bad descriptor, unregistered memory)."""
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+class FaultPlanError(ReproError):
+    """A fault plan or retry policy is malformed (bad rate, inverted
+    window, unknown preset)."""
 
 
 # ---------------------------------------------------------------------------

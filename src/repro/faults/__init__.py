@@ -1,0 +1,60 @@
+"""Deterministic fault injection and resilience (see docs/RESILIENCE.md).
+
+Quick tour::
+
+    from repro.faults import FaultPlan, LinkFault, HostFault, injecting
+
+    plan = FaultPlan(
+        name="demo", seed=7,
+        links={"clan.*.down": LinkFault(flap_windows=((0.01, 0.02),))},
+        hosts={"worker01": HostFault(crash_at=0.01, restart_at=0.03)},
+    )
+    with injecting(plan):
+        result = run_loadbalance(cfg)   # cluster built inside adopts it
+
+The subsystem has two halves:
+
+* **injection** — :class:`FaultPlan` (declarative, JSON round-trip,
+  fingerprinted) installed by a
+  :class:`~repro.faults.injector.FaultInjector` into link delivery,
+  stack receive paths, and host compute (``repro.faults.plan`` /
+  ``repro.faults.injector``);
+* **resilience** — :class:`RetryPolicy` connect retry with exponential
+  backoff + jitter and connect/recv timeouts in the transports and
+  sockets, plus DataCutter's dead-host rescheduling and filter restart
+  (``repro.faults.retry``, ``repro.transport.base``,
+  ``repro.datacutter``).
+
+``python -m repro faults list|describe`` exposes the named presets in
+``repro.faults.presets``; the ``chaos`` bench suite measures Figure 8
+and Figure 11 under two of them.
+"""
+
+from repro.faults.injector import FaultInjector, WindowedSlowdown
+from repro.faults.plan import (
+    FaultPlan,
+    HostFault,
+    LinkFault,
+    active_fingerprint,
+    active_plan,
+    injecting,
+    set_active_plan,
+)
+from repro.faults.presets import PRESETS, get_preset, preset_names
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "LinkFault",
+    "HostFault",
+    "FaultInjector",
+    "WindowedSlowdown",
+    "RetryPolicy",
+    "active_plan",
+    "active_fingerprint",
+    "set_active_plan",
+    "injecting",
+    "PRESETS",
+    "get_preset",
+    "preset_names",
+]

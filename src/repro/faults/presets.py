@@ -1,0 +1,106 @@
+"""Named, calibrated fault plans.
+
+These are the plans the chaos bench suite commits baselines for, plus
+small examples for the CLI (``python -m repro faults describe <name>``).
+Calibration means two things: the fault times fall inside the driven
+workload's simulated duration (for both full and ``--quick`` axes, so
+CI exercises the same fault classes), and the fault classes are chosen
+so every run still terminates — flap windows buffer rather than drop,
+and crashes are paired with restarts so deferred work replays.
+
+Plans are immutable module constants; :func:`get_preset` looks one up
+by name and :data:`PRESETS` lists them all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import FaultPlan, HostFault, LinkFault
+
+__all__ = ["PRESETS", "get_preset", "preset_names"]
+
+
+#: Empty plan: installs nothing; bit-identical to running without one.
+NONE = FaultPlan.empty()
+
+#: Figure 8 chaos leg.  The update-rate metric measures the window
+#: between the first and last *completed* update, so one-shot faults in
+#: the warmup would be invisible; instead the visualization sink's
+#: receive side flaps on a duty cycle — a 30 ms blackout (buffer, then
+#: replay in order) at the top of every 100 ms, spanning the whole run
+#: for every block size — and one clip-stage host (node04) browns out,
+#: computing 8x slower throughout (demand-driven scheduling routes
+#: around it).  Calibrated effect: 20-35% update-rate loss per cell.
+CHAOS_FIG8 = FaultPlan(
+    name="chaos-fig8",
+    seed=8,
+    links={
+        "clan.node09.down": LinkFault(
+            flap_windows=tuple(
+                (0.1 * k, 0.1 * k + 0.030) for k in range(30)
+            ),
+        ),
+    },
+    hosts={
+        "node04": HostFault(slowdown_windows=((0.0, 3.0, 8.0),)),
+    },
+)
+
+#: Figure 11 chaos leg: one worker blacks out for 20 ms mid-run.  The
+#: demand-driven scheduler reroutes around it (its copies are marked
+#: dead on crash) and its deferred blocks replay at restart; execution
+#: time rises by roughly the lost capacity.  Times sit inside even the
+#: quick run (~60 ms simulated).
+CHAOS_FIG11 = FaultPlan(
+    name="chaos-fig11",
+    seed=11,
+    hosts={
+        "worker01": HostFault(crash_at=0.010, restart_at=0.030),
+    },
+)
+
+#: Example transient-slowdown plan (not benched): one worker computes
+#: 8x slower during two windows — the fault-plan equivalent of the
+#: paper's dynamically slow node.
+BROWNOUT = FaultPlan(
+    name="brownout",
+    seed=5,
+    hosts={
+        "worker01": HostFault(
+            slowdown_windows=((0.005, 0.015, 8.0), (0.030, 0.040, 8.0)),
+        ),
+    },
+)
+
+#: Example lossy-control plan (not benched): 30% loss on one host's
+#: receive side — pair with a transport ``RetryPolicy`` so connection
+#: handshakes survive via retransmission.  Dropping kernel-TCP *data*
+#: is not modeled (the simulated stack has no data retransmission), so
+#: loss plans belong on handshake/control traffic.
+LOSSY_CONNECT = FaultPlan(
+    name="lossy-connect",
+    seed=3,
+    links={"clan.node01.down": LinkFault(loss_rate=0.3)},
+)
+
+
+PRESETS: Dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (NONE, CHAOS_FIG8, CHAOS_FIG11, BROWNOUT, LOSSY_CONNECT)
+}
+
+
+def preset_names() -> list:
+    return sorted(PRESETS)
+
+
+def get_preset(name: str) -> FaultPlan:
+    """Look a preset plan up by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise FaultPlanError(
+            f"unknown fault plan {name!r}; have {preset_names()}"
+        ) from None

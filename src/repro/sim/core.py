@@ -202,17 +202,26 @@ class Simulator:
     # -- lazy cancellation ------------------------------------------------------
 
     def _compact(self) -> None:
-        """Sweep tombstoned entries off the heap.
+        """Sweep tombstoned entries off the heap in one O(heap) pass.
 
-        Triggered by :meth:`Event.cancel` once tombstones are at least
-        three quarters of the heap (and at least ``_COMPACT_MIN`` of
-        them), making cancellation amortized O(1) — no heap rebuild per
-        cancel.  Live entries keep their original ``(time, priority,
-        seq)`` keys, so their relative order is untouched; the list object
-        is reused in place because the run loop holds a direct reference.
-        Swept entries whose event is still cancelled are flagged detached
-        so the graveyard reuse probe (see :meth:`timeout`) knows the heap
-        no longer references them.
+        Triggered by :meth:`Event.cancel` only when tombstones are at
+        least three quarters of the heap *and* at least ``_COMPACT_MIN``
+        of them sit on it — both bounds matter: the fraction keeps the
+        sweep from running while tombstones are still cheap to discard
+        on pop, the floor keeps tiny heaps from compacting constantly.
+        Amortized over the cancels that crossed the threshold this makes
+        cancellation O(1) per call with the heap bounded at ~4x the live
+        set.
+
+        Determinism is preserved exactly: an entry is live iff its
+        event's generation stamp still equals the entry's sequence
+        number, and live entries keep their original ``(time, priority,
+        seq)`` keys through the re-heapify, so pop order is unchanged.
+        The list object is reused in place because the run loop holds a
+        direct reference.  Swept entries whose event is still cancelled
+        are flagged ``_detached`` so the graveyard reuse probe (see
+        :meth:`timeout`) knows the heap no longer references them and
+        the timeout may be re-armed immediately.
         """
         heap = self._heap
         live = []

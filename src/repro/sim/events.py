@@ -214,11 +214,17 @@ class Event:
     def cancel(self) -> bool:
         """Tombstone a triggered-but-unprocessed event (lazy cancellation).
 
-        The heap entry stays where it is; the kernel discards it on pop
-        without advancing the clock, running callbacks, or invoking trace
-        hooks.  Cancelling is O(1) — heavy cancellation loads are bounded
-        by the kernel's periodic tombstone compaction instead of a heap
-        rebuild per cancel.
+        The heap entry stays where it is with its generation stamp
+        invalidated (``_gen = -1``); the kernel discards it on pop
+        without advancing the clock, running callbacks, or invoking
+        trace hooks.  Each call is O(1) except when it crosses the
+        compaction threshold — at least ``Simulator._COMPACT_MIN``
+        tombstones on the heap *and* tombstones at least three quarters
+        of it — where it triggers one O(heap) sweep
+        (:meth:`Simulator._compact`).  The sweep's cost is amortized
+        over the ≥1024 cancels that funded it, so cancellation is
+        amortized O(1) overall and the heap never grows past ~4x the
+        live set.
 
         Returns True if this call tombstoned the event, False if it was
         already cancelled.  Raises :class:`EventLifecycleError` for events

@@ -11,8 +11,10 @@ The permanent emit points threaded through the library (the *trace-point
 catalog*, see docs/API.md) cover every layer: ``tcp.segment`` /
 ``tcp.kernel`` / ``udp.kernel`` (kernel path), ``via.doorbell`` /
 ``via.credit`` (user-level path), ``sockets.send`` / ``sockets.recv``
-(the unified API), ``datacutter.uow`` (runtime), and ``cluster.link``
-(every wire transmission).
+(the unified API), ``datacutter.uow`` (runtime), ``cluster.link``
+(every wire transmission), and the ``faults.*`` family (drops, flaps,
+crashes, retries — emitted only when a fault plan is installed; see
+``repro.faults``).
 
 Components pick their tracer up from the :class:`~repro.cluster.topology.
 Cluster` that builds them.  Code that constructs its own clusters (the
@@ -49,6 +51,7 @@ TRACE_LAYERS = {
     "sockets.": "sockets",
     "datacutter.": "datacutter",
     "cluster.": "cluster",
+    "faults.": "faults",
 }
 
 

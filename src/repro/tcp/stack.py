@@ -153,10 +153,13 @@ class TcpStack(StackBase):
         model: ProtocolCostModel = TCP_CLAN_LANE,
         window: int = 256 * 1024,
         max_unit: int = 64 * 1024,
+        retry=None,
+        connect_timeout: Optional[float] = None,
     ) -> None:
         self.window = int(window)
         self.max_unit = int(max_unit)
-        super().__init__(host, switch, model)
+        super().__init__(host, switch, model, retry=retry,
+                         connect_timeout=connect_timeout)
         #: The serialized kernel network path of this host.
         self.kernel = Resource(self.sim, 1, name=f"{host.name}.tcp.kernel")
 

@@ -141,6 +141,9 @@ class ViaNic:
         #: SocketVIA NIC can coexist on one host/fabric.
         self.tag = tag or f"{self.tag_prefix}.{model.name}"
         self.tracer = getattr(host, "tracer", NULL_TRACER)
+        #: Host crash state from a fault plan (see ``repro.faults``);
+        #: None on fault-free runs — the rx path pays one check.
+        self.faults = getattr(host, "fault_state", None)
         self.port = switch.port(host.name)
         self.memory = MemoryRegistry(self.sim, name=f"{host.name}.viamem")
         self._vis: Dict[int, VirtualInterface] = {}
@@ -318,6 +321,12 @@ class ViaNic:
         )
 
     def _on_tx(self, tx: Transmission) -> None:
+        faults = self.faults
+        if faults is not None and faults.down:
+            # Crashed host: frames that reach the NIC are deferred and
+            # replayed in arrival order at restart (see repro.faults).
+            faults.defer(self._on_tx, tx)
+            return
         frame = tx.payload
         if isinstance(frame, _DataFrame):
             vi = self._vis.get(frame.dst_vi)

@@ -57,6 +57,13 @@ CASES = {
            {"factors": [2], "total_bytes": 1 << 20}),
     "11": (figures.fig11_dd_heterogeneity, figures.fig11_points,
            {"probabilities": [0.5], "factors": [2], "total_bytes": 1 << 19}),
+    # chaos panels: the fault plan rides inside each point's params, so
+    # the same bit-identity contract must hold under injected faults.
+    "c8": (figures.chaos8_update_rate, figures.chaos8_points,
+           {"bounds_us": [1000], "frames": 2}),
+    # 2 MB keeps the run long enough for the worker01 restart to land.
+    "c11": (figures.chaos11_crash_recovery, figures.chaos11_points,
+            {"probabilities": [0.5], "total_bytes": 2 * 1024 * 1024}),
 }
 
 

@@ -3,14 +3,24 @@
 A production runtime spends most of its subtlety on the unhappy paths;
 these tests pin them down: receivers vanishing mid-stream, listeners
 closing with connects queued, filters crashing mid-UOW, interrupts
-landing in blocking calls.
+landing in blocking calls, and — via ``repro.faults`` — lossy links
+exhausting retry budgets, flapping links exercising the idempotent
+re-handshake, and host crashes rerouted around by demand-driven
+scheduling.
 """
 
 import pytest
 
+from repro.apps.loadbalance import LoadBalanceConfig, run_loadbalance
 from repro.cluster import Cluster, StaticSlowdown
 from repro.datacutter import DataCutterRuntime, Filter, FilterGroup
-from repro.errors import ConnectionRefused, SocketClosedError
+from repro.errors import (
+    ConnectionRefused,
+    ConnectTimeout,
+    RetryExhausted,
+    SocketClosedError,
+)
+from repro.faults import FaultPlan, HostFault, LinkFault, RetryPolicy, injecting
 from repro.sim import Interrupt
 from repro.sockets import ProtocolAPI
 
@@ -20,6 +30,17 @@ def cluster():
     c = Cluster(seed=13)
     c.add_fabric("clan")
     c.add_hosts("node", 4)
+    return c
+
+
+def _faulty_cluster(plan):
+    """The standard 4-node clan cluster, built with *plan* ambient —
+    ``Cluster.__init__`` adopts the plan, so it must be installed
+    before construction, not before ``sim.run``."""
+    with injecting(plan):
+        c = Cluster(seed=13)
+        c.add_fabric("clan")
+        c.add_hosts("node", 4)
     return c
 
 
@@ -229,3 +250,121 @@ class TestExtremeInputs:
         srv = sim.process(server())
         sim.process(client())
         assert sim.run(srv) == size
+
+
+class TestConnectRetry:
+    """Connection establishment against injected link faults."""
+
+    def _blackhole(self):
+        # Everything addressed *to* node01 is silently dropped; the
+        # reverse direction is healthy, so only the handshake request
+        # leg is lossy — the worst case for connect().
+        return FaultPlan(
+            name="blackhole-node01", seed=5,
+            links={"clan.node01.down": LinkFault(loss_rate=1.0)})
+
+    def test_retry_exhausted_records_attempts_and_backoff(self):
+        cluster = _faulty_cluster(self._blackhole())
+        policy = RetryPolicy(max_attempts=4, attempt_timeout=0.002,
+                             base_delay=0.001, multiplier=2.0,
+                             jitter=0.25, seed=7)
+        api = ProtocolAPI(cluster, "tcp", retry=policy)
+        sim = cluster.sim
+        api.listen("node01", 80)  # listener exists; the network eats requests
+
+        def client():
+            sock = api.socket("node00")
+            try:
+                yield from sock.connect(("node01", 80))
+            except RetryExhausted as exc:
+                return exc
+
+        exc = sim.run(sim.process(client()))
+        assert isinstance(exc, RetryExhausted)
+        assert exc.attempts == policy.max_attempts
+        # The exception carries the exact deterministic schedule the
+        # stack waited: max_attempts - 1 jittered exponential delays.
+        expected = tuple(policy.delays("node00->node01:80"))
+        assert exc.backoff == expected
+        assert len(exc.backoff) == policy.max_attempts - 1
+        for i, delay in enumerate(exc.backoff):
+            base = policy.base_delay * policy.multiplier ** i
+            assert base <= delay <= base * (1.0 + policy.jitter)
+        # Wall clock accounts for every timeout plus every backoff
+        # (plus a few microseconds of per-attempt send CPU charge).
+        floor = policy.max_attempts * policy.attempt_timeout + sum(expected)
+        assert floor <= sim.now <= floor * 1.01
+
+    def test_connect_timeout_without_retry_policy(self):
+        cluster = _faulty_cluster(self._blackhole())
+        api = ProtocolAPI(cluster, "tcp", connect_timeout=0.002)
+        sim = cluster.sim
+        api.listen("node01", 80)
+
+        def client():
+            sock = api.socket("node00")
+            try:
+                yield from sock.connect(("node01", 80))
+            except ConnectTimeout:
+                return "timed out"
+
+        assert sim.run(sim.process(client())) == "timed out"
+
+    def test_handshake_survives_flap_and_stays_idempotent(self):
+        """A flap window buffers attempt 1's request; the retry lands in
+        the same window, so the server sees *two* requests back-to-back
+        at replay — it must accept once and re-reply, not accept twice."""
+        plan = FaultPlan(
+            name="flap-node01", seed=5,
+            links={"clan.node01.down": LinkFault(flap_windows=((0.0, 0.004),))})
+        cluster = _faulty_cluster(plan)
+        policy = RetryPolicy(max_attempts=5, attempt_timeout=0.002,
+                             base_delay=0.001, jitter=0.0)
+        api = ProtocolAPI(cluster, "tcp", retry=policy)
+        sim = cluster.sim
+
+        def server():
+            listener = api.listen("node01", 80)
+            sock = yield from listener.accept()
+            msg = yield from sock.recv_message()
+            return msg.size
+
+        def client():
+            sock = api.socket("node00")
+            yield from sock.connect(("node01", 80))
+            yield from sock.send_message(1024)
+
+        srv = sim.process(server())
+        sim.process(client())
+        assert sim.run(srv) == 1024
+        # Both buffered requests were delivered, but the duplicate only
+        # repeated the reply: exactly one server-side endpoint exists.
+        assert len(api.stack("node01")._accepted) == 1
+
+
+class TestHostCrashRescheduling:
+    """Demand-driven scheduling degrades gracefully around a crash."""
+
+    def test_dd_reroutes_and_completes_after_worker_crash(self):
+        cfg = LoadBalanceConfig(protocol="tcp", policy="dd",
+                                total_bytes=2 * 1024 * 1024)
+        base = run_loadbalance(cfg)
+        plan = FaultPlan(
+            name="crash-worker01", seed=11,
+            hosts={"worker01": HostFault(crash_at=0.010, restart_at=0.030)})
+        with injecting(plan):
+            chaos = run_loadbalance(cfg)
+
+        n_blocks = cfg.n_blocks
+        # No block is lost: the crashed copy's deferred work replays at
+        # restart and everything else reroutes to the survivors.
+        assert sum(base.sent_counts) == n_blocks
+        assert sum(chaos.sent_counts) == n_blocks
+        assert sum(chaos.processed_counts) == n_blocks
+        # The crashed worker handled measurably less than it did in the
+        # fault-free run, and less than either surviving peer.
+        assert chaos.sent_counts[1] < base.sent_counts[1]
+        assert chaos.sent_counts[1] < chaos.sent_counts[0]
+        assert chaos.sent_counts[1] < chaos.sent_counts[2]
+        # Degradation, not collapse: the run finishes, merely later.
+        assert chaos.execution_time > base.execution_time

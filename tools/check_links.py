@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's Markdown docs.
+
+Walks ``README.md`` plus every ``docs/*.md`` (and any extra paths given
+on the command line), extracts Markdown link and image targets, and
+verifies that each *relative* target resolves to an existing file or
+directory.  External schemes (``http(s)://``, ``mailto:``) and
+pure-fragment links (``#section``) are skipped; a fragment on a
+relative target is stripped before the existence check.
+
+Inline code spans and fenced code blocks are ignored, so
+``[i]`` -style indexing in snippets never false-positives.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link: ``file:line: broken link -> target``).  CI runs this on
+every push; locally: ``python tools/check_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: ``[text](target)`` and ``![alt](target)``; target ends at the first
+#: unescaped ``)`` (no nested-paren support needed for these docs).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def default_files(root: Path) -> List[Path]:
+    files = []
+    readme = root / "README.md"
+    if readme.is_file():
+        files.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def iter_links(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every link outside code."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(_CODE_SPAN.sub("``", line)):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path, root: Path) -> List[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, target in iter_links(text):
+        if _SCHEME.match(target) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            try:
+                shown = path.relative_to(root)
+            except ValueError:
+                shown = path
+            errors.append(f"{shown}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = ([Path(a).resolve() for a in argv] if argv
+             else default_files(root))
+    errors: List[str] = []
+    checked = 0
+    for path in files:
+        if not path.is_file():
+            errors.append(f"{path}: no such file")
+            continue
+        checked += 1
+        errors.extend(check_file(path, root))
+    for line in errors:
+        print(line, file=sys.stderr)
+    print(f"check_links: {checked} file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
