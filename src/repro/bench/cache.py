@@ -16,7 +16,8 @@ Key anatomy (SHA-256 over a canonical JSON document)::
       "fn": "fig8_rate",          # registry name of the point function
       "params": {...},            # sort_keys canonical JSON kwargs
       "code": "<fingerprint>",    # hash over src/repro/**/*.py + git sha
-      "faults": null              # ambient FaultPlan fingerprint, or null
+      "faults": null,             # ambient FaultPlan fingerprint, or null
+      "mode": "packet"            # effective simulation mode
     }
 
 The *faults* field is :func:`repro.faults.active_fingerprint` — ``None``
@@ -25,6 +26,11 @@ measured under an ambient fault plan can never be confused with
 fault-free ones (or with a different plan's).  Chaos points that carry
 their plan explicitly in ``params`` are already distinguished by it;
 this field covers ambient installation around a whole run.
+
+The *mode* field is :func:`repro.sim.flow.effective_sim_mode` — the
+simulation mode transfers actually run under (``"packet"`` or
+``"fluid"``), so packet-mode and fluid-mode point results never alias
+even when their values agree.
 
 The *code fingerprint* hashes the installed ``repro`` package sources
 (sorted relative paths + file contents) together with
@@ -148,6 +154,7 @@ class ResultCache:
     def key(self, figure: str, fn: str, params: Dict[str, Any]) -> str:
         """SHA-256 cache key for one point (see module docstring)."""
         from repro.faults import active_fingerprint
+        from repro.sim.flow import effective_sim_mode
 
         doc = {
             "cache_schema": CACHE_SCHEMA_VERSION,
@@ -156,6 +163,7 @@ class ResultCache:
             "params": params,
             "code": code_fingerprint(),
             "faults": active_fingerprint(),
+            "mode": effective_sim_mode(),
         }
         canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()

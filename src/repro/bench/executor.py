@@ -119,25 +119,29 @@ def execute_point(spec: Tuple) -> Dict[str, Any]:
     result bit-identical to one later read back from the cache.
 
     *spec* is ``(figure, fn, params)``, optionally extended with a
-    fourth element: the ambient :class:`~repro.faults.FaultPlan` as a
-    dict.  The executor ships it when a sweep runs inside ``with
-    injecting(plan):`` so pool workers — separate processes that never
-    saw the parent's ambient state — reinstall the same plan.
+    fourth element — the ambient :class:`~repro.faults.FaultPlan` as a
+    dict (or None) — and a fifth: the simulation mode the point must
+    run under (see :func:`repro.sim.flow.simulation_mode`).  The
+    executor ships both when set, so pool workers — separate processes
+    that never saw the parent's ambient state — reinstall the same
+    plan and mode.
     """
     from repro.bench.figures import POINT_FNS
     from repro.bench.runner import TraceAggregator
     from repro.faults import FaultPlan, injecting
     from repro.sim.core import global_events_processed
+    from repro.sim.flow import simulation_mode
     from repro.sim.trace import Tracer, tracing
 
     figure, fn, params = spec[:3]
     plan_dict = spec[3] if len(spec) > 3 else None
+    mode = spec[4] if len(spec) > 4 else None
     plan = None if plan_dict is None else FaultPlan.from_dict(plan_dict)
     agg = TraceAggregator()
     tracer = Tracer()
     tracer.subscribe("", agg)
     before = global_events_processed()
-    with injecting(plan), tracing(tracer, record=False):
+    with simulation_mode(mode), injecting(plan), tracing(tracer, record=False):
         value = POINT_FNS[fn](**params)
     return {
         "value": json.loads(json.dumps(value)),
@@ -232,12 +236,17 @@ class SweepExecutor:
                      f"{len(pending)} to run (jobs={self.jobs})")
         if pending:
             from repro.faults import active_plan
+            from repro.sim.flow import resolve_sim_mode
 
             ambient = active_plan()
-            if ambient is not None and not ambient.is_empty:
-                extra = (ambient.to_dict(),)
+            plan_dict = (ambient.to_dict()
+                         if ambient is not None and not ambient.is_empty
+                         else None)
+            mode = resolve_sim_mode()
+            if mode == "packet" and plan_dict is None:
+                extra = ()  # default state: keep the legacy 3-tuple spec
             else:
-                extra = ()
+                extra = (plan_dict, mode)
             specs = [(points[i].figure, points[i].fn, dict(points[i].params))
                      + extra
                      for i in pending]

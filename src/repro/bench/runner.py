@@ -151,6 +151,7 @@ def run_experiment(
     from repro.bench.executor import (SweepExecutor, layers_from_kinds,
                                       merge_kinds)
     from repro.bench.suites import FIGURES, PLANS
+    from repro.sim.flow import effective_sim_mode
 
     own_executor = executor is None
     if own_executor:
@@ -200,5 +201,6 @@ def run_experiment(
         quick=quick,
         wall_time_s=round(wall, 3),
         events_processed=events,
+        sim_mode=effective_sim_mode(),
         schema_version=SCHEMA_VERSION,
     )

@@ -111,6 +111,12 @@ def _figures() -> Dict[str, Callable]:
     # suite times the executor.
     registry["kernel"] = lambda quick: m.kernel_suite(quick)
     registry["sweep"] = lambda quick: x.sweep_benchmark(quick)
+
+    def fluid(quick):
+        from repro.bench import fluidbench as fb
+        return fb.fluid_suite(quick)
+
+    registry["fluid"] = fluid
     return registry
 
 
@@ -178,6 +184,7 @@ RUNTIME_HINT = {
     "7b": "~30 s", "8a": "~20 s", "8b": "~20 s", "9a": "~30 s",
     "9b": "~30 s", "10": "~1 s", "11": "~4 s", "c8": "~30 s",
     "c11": "~10 s", "kernel": "~3 s", "sweep": "~2 min",
+    "fluid": "~5 s",
 }
 
 
@@ -710,6 +717,84 @@ def _sweep_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# fluid — fluid-flow vs packet fidelity (not a paper figure; gates the
+# hybrid transfer mode in repro.sim.flow and its fast paths in the
+# link/TCP/VIA layers, see docs/ARCHITECTURE.md "Fluid-flow mode")
+# ---------------------------------------------------------------------------
+
+
+def _fluid_rows(table: ExperimentTable):
+    return [dict(zip(table.columns, row)) for row in table.rows]
+
+
+def _fluid_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    from repro.bench.fluidbench import LARGE_BYTES
+
+    table = tables.get("fluid")
+    if table is None:
+        return []
+    rows = _fluid_rows(table)
+    large = [r["event_ratio"] for r in rows
+             if r["scenario"].endswith("-oneshot")
+             and r["msg_bytes"] >= LARGE_BYTES
+             and r["event_ratio"] is not None]
+    saved = sum(r["events_packet"] - r["events_fluid"] for r in rows)
+    return [
+        Anchor("fluid_min_large_ratio",
+               "worst packet/fluid event ratio over large one-shot "
+               "transfers (deterministic; CI floor is 5x)",
+               min(large) if large else None, group="fluid", unit="x"),
+        Anchor("fluid_max_rel_err",
+               "largest |fluid - packet| relative time error, any scenario",
+               max(r["rel_err"] for r in rows), group="fluid", unit="frac"),
+        Anchor("fluid_events_saved",
+               "kernel events the fluid legs avoided across all scenarios "
+               "(deterministic)",
+               float(saved), group="fluid", unit="events"),
+    ]
+
+
+def _fluid_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    from repro.bench.fluidbench import LARGE_BYTES
+
+    table = tables.get("fluid")
+    if table is None:
+        return []
+    rows = _fluid_rows(table)
+    oneshot = [r for r in rows if r["scenario"].endswith("-oneshot")]
+    large = [r for r in oneshot if r["msg_bytes"] >= LARGE_BYTES]
+    tcp_fanin = [r for r in rows if r["scenario"] == "tcp-fanin"]
+    return [
+        Claim("fluid_large_10x",
+              "every large (>= 1 MiB) one-shot transfer needs >= 10x "
+              "fewer kernel events in fluid mode",
+              all(r["event_ratio"] is not None and r["event_ratio"] >= 10
+                  for r in large) and bool(large), "fluid"),
+        Claim("fluid_oneshot_exact",
+              "one-shot transfers are bit-compatible: fluid time within "
+              "float noise (rel_err <= 1e-9) of the packet time",
+              all(r["rel_err"] <= 1e-9 for r in oneshot), "fluid"),
+        Claim("fluid_within_band",
+              "every scenario — streams, SocketVIA fan-in, and TCP "
+              "fan-in included — lands within the comparator's 5% band "
+              "of the packet truth",
+              all(r["rel_err"] <= 0.05 for r in rows), "fluid"),
+        Claim("fluid_tcp_fanin_bounded",
+              "tcp-fanin, the band's closest call (receiver-kernel "
+              "occupancy recovers most but not all rx interleaving), "
+              "stays optimistic but bounded: packet/2 <= fluid <= packet",
+              all(0.5 * r["t_packet_us"] <= r["t_fluid_us"]
+                  <= r["t_packet_us"] for r in tcp_fanin)
+              and bool(tcp_fanin), "fluid"),
+        Claim("fluid_never_slower",
+              "no scenario processes more kernel events in fluid mode "
+              "than in packet mode",
+              all(r["events_fluid"] <= r["events_packet"] for r in rows),
+              "fluid"),
+    ]
+
+
 def _no_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
     return []
 
@@ -746,6 +831,9 @@ SUITES: Dict[str, BenchSuite] = {
         BenchSuite("sweep", "Point-sweep executor: serial vs parallel vs "
                    "cached wall clock", ("sweep",),
                    _sweep_anchors, _sweep_claims),
+        BenchSuite("fluid", "Fluid-flow vs packet: transfer fidelity and "
+                   "event economy", ("fluid",),
+                   _fluid_anchors, _fluid_claims),
     )
 }
 

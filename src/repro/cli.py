@@ -45,13 +45,16 @@ def _figure_registry() -> Dict[str, Callable]:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.sim.flow import simulation_mode
+
     registry = _figure_registry()
     fig_id = args.id.lower().lstrip("fig")
     if fig_id not in registry:
         print(f"unknown figure {args.id!r}; have {sorted(registry)}",
               file=sys.stderr)
         return 2
-    table = registry[fig_id](args.quick)
+    with simulation_mode(getattr(args, "mode", None)):
+        table = registry[fig_id](args.quick)
     print(table.render())
     if args.save:
         path = table.save(args.save)
@@ -158,6 +161,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import baselines, runner
     from repro.bench.cache import ResultCache
     from repro.bench.executor import SweepExecutor
+    from repro.sim.flow import simulation_mode
 
     try:
         experiments = _resolve_experiments(args.experiments, for_run=True)
@@ -166,7 +170,8 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         return 2
     out_dir = baselines.results_dir(args.results)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    with SweepExecutor(jobs=args.jobs, cache=cache) as executor:
+    with simulation_mode(args.mode), \
+            SweepExecutor(jobs=args.jobs, cache=cache) as executor:
         for exp in experiments:
             record = runner.run_experiment(
                 exp, quick=args.quick, progress=print, executor=executor)
@@ -181,7 +186,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
                   f"({len(bad_claims)} failed), "
                   f"{sum(s['events'] for s in record.layers.values())} trace "
                   f"events in {record.wall_time_s:.1f} s "
-                  f"(jobs={executor.jobs})")
+                  f"(jobs={executor.jobs}, mode={record.sim_mode})")
             for a in bad_anchors:
                 print(f"  ANCHOR MISS {a['key']}: paper {a['paper']}, "
                       f"measured {a['measured']}")
@@ -283,12 +288,20 @@ def cmd_bench_report(args: argparse.Namespace) -> int:
 
 def cmd_bench_list(_args: argparse.Namespace) -> int:
     from repro.bench import baselines
+    from repro.bench.schema import BenchRecord, SchemaError
     from repro.bench.suites import SUITES
 
     have = baselines.discover(baselines.baseline_dir())
     print("bench experiments (python -m repro bench run <id>):")
     for bench_id, suite in sorted(SUITES.items()):
-        marker = "baseline" if bench_id in have else "no baseline"
+        if bench_id in have:
+            try:
+                mode = BenchRecord.load(have[bench_id]).sim_mode
+            except (OSError, SchemaError):
+                mode = None
+            marker = f"baseline, mode={mode or 'unrecorded'}"
+        else:
+            marker = "no baseline"
         print(f"  {bench_id:<6} panels {'+'.join(suite.panels):<6} "
               f"[{suite.runtime_hint}] ({marker})")
     return 0
@@ -334,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--quick", action="store_true", help="reduced axes")
     p_fig.add_argument("--save", metavar="DIR", default=None,
                        help="also write the table to DIR")
+    p_fig.add_argument("--mode", choices=("packet", "fluid", "auto"),
+                       default=None,
+                       help="simulation mode (default: REPRO_SIM_MODE env "
+                            "or packet)")
     p_fig.set_defaults(func=cmd_figure)
 
     p_micro = sub.add_parser("microbench", help="both Figure-4 panels")
@@ -388,6 +405,11 @@ def build_parser() -> argparse.ArgumentParser:
     pb_run.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="cache dir (default REPRO_BENCH_CACHE or "
                              "benchmarks/cache)")
+    pb_run.add_argument("--mode", choices=("packet", "fluid", "auto"),
+                        default=None,
+                        help="simulation mode for the run (default: "
+                             "REPRO_SIM_MODE env or packet); recorded in "
+                             "the output and the cache key")
     pb_run.set_defaults(func=cmd_bench_run)
 
     pb_cmp = bsub.add_parser(

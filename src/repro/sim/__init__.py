@@ -12,6 +12,16 @@ the event-loop contract.
 
 from repro.sim.core import Simulator
 from repro.sim.events import AllOf, AnyOf, Condition, Event, Timeout
+from repro.sim.flow import (
+    FlowModel,
+    FluidFlow,
+    effective_sim_mode,
+    fluid_active,
+    resolve_sim_mode,
+    set_sim_mode,
+    simulation_mode,
+    solve_pipeline,
+)
 from repro.sim.monitor import Counter, Histogram, SeriesRecorder, Tally, TimeWeighted
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Container, PriorityResource, Request, Resource, Store
@@ -27,6 +37,14 @@ __all__ = [
     "Condition",
     "AllOf",
     "AnyOf",
+    "FlowModel",
+    "FluidFlow",
+    "resolve_sim_mode",
+    "set_sim_mode",
+    "simulation_mode",
+    "fluid_active",
+    "effective_sim_mode",
+    "solve_pipeline",
     "Process",
     "Interrupt",
     "Resource",

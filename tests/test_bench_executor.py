@@ -29,6 +29,8 @@ from repro.bench.executor import (
 from repro.bench.runner import git_sha, run_experiment
 from repro.bench.suites import FIGURES, PLANS, get_suite
 from repro.cli import main
+from repro.faults.plan import FaultPlan, HostFault, injecting
+from repro.sim.flow import simulation_mode
 
 #: Tiny axes per panel: enough to exercise every decomposition shape
 #: (drop-outs, dedup, multi-column rows) while staying fast.
@@ -95,6 +97,42 @@ class TestParallelMatchesSerial:
         values = [o["value"] for o in reversed(outs)]
         expected = figures.fig4a_latency(sizes=[4, 64, 256]).to_dict()
         assert plan.merge(values).to_dict() == expected
+
+
+class TestModesMatchPacket:
+    """Figure panels are mode-invariant: the paper's block sizes sit
+    below every fluid eligibility gate, so packet/fluid/auto must
+    produce byte-for-byte identical tables (the bit-compatible half of
+    the fluid contract; the banded half lives in the fluid suite)."""
+
+    PANELS = ("2", "4a", "4b", "7a")
+
+    @pytest.mark.parametrize("panel", PANELS)
+    @pytest.mark.parametrize("mode", ["fluid", "auto"])
+    def test_serial_bit_identical_across_modes(self, panel, mode):
+        serial_fn, _, kwargs = CASES[panel]
+        expected = serial_fn(**kwargs).to_dict()
+        with simulation_mode(mode):
+            assert serial_fn(**kwargs).to_dict() == expected
+
+    def test_parallel_workers_inherit_fluid_mode(self, pool2):
+        # The point spec carries the submitting side's effective mode,
+        # so jobs=2 workers replay it — and still match packet output.
+        serial_fn, points_fn, kwargs = CASES["4a"]
+        expected = serial_fn(**kwargs).to_dict()
+        with simulation_mode("fluid"):
+            assert pool2.table(points_fn(**kwargs)).to_dict() == expected
+
+    def test_ambient_fault_plan_forces_packet_bytes(self):
+        # A non-empty plan (inert here: it names no host these panels
+        # build) must flip fluid off wholesale — identical bytes again.
+        plan = FaultPlan(name="inert", seed=3,
+                         hosts={"nope99": HostFault(crash_at=1.0,
+                                                    restart_at=2.0)})
+        serial_fn, _, kwargs = CASES["4b"]
+        expected = serial_fn(**kwargs).to_dict()
+        with simulation_mode("fluid"), injecting(plan):
+            assert serial_fn(**kwargs).to_dict() == expected
 
 
 class TestCacheReplay:
@@ -319,7 +357,7 @@ def test_fig2_quick_equals_full():
 
 def test_every_figure_panel_has_a_plan():
     for panel in FIGURES:
-        if panel in ("kernel", "sweep"):
+        if panel in ("kernel", "sweep", "fluid"):
             assert PLANS.get(panel) is None
         else:
             plan = PLANS[panel](True)

@@ -57,6 +57,19 @@ class TestRoundTrip:
         assert table.rows[1] == [4096, None]
         assert table.notes == ["a note"]
 
+    def test_sim_mode_round_trip(self):
+        record = make_record(sim_mode="fluid")
+        back = BenchRecord.from_json(record.to_json())
+        assert back.sim_mode == "fluid"
+        assert back.to_dict()["sim_mode"] == "fluid"
+
+    def test_pre_v3_payload_loads_with_sim_mode_none(self):
+        payload = make_record().to_dict()
+        payload["schema_version"] = 2
+        del payload["sim_mode"]
+        back = BenchRecord.from_dict(payload)
+        assert back.sim_mode is None
+
     def test_anchor_lookup_and_flags(self):
         record = make_record()
         assert record.anchor("tcp_latency")["paper"] == 47.5

@@ -24,6 +24,8 @@ import random
 import sys
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.link import LinkDirection, Transmission
 from repro.errors import EventLifecycleError, StopSimulation
@@ -351,6 +353,65 @@ def _via_stream_end(batched: bool, n: int = 24, size: int = 1024) -> float:
 
 def test_post_send_many_timing_matches_sequential_posts():
     assert _via_stream_end(True) == pytest.approx(_via_stream_end(False))
+
+
+def _link_deliveries_with_ready(batched: bool, units):
+    """Like :func:`_link_deliveries` but each unit is ``(service_time,
+    ready_at)`` — exercising the analytic-hold stretch where data is
+    still trickling in when the wire would otherwise start."""
+    sim = Simulator()
+    deliveries = []
+    link = LinkDirection(sim, deliver=lambda tx: deliveries.append(
+        (sim.now, tx.payload)))
+    txs = [Transmission(dst="peer", service_time=s, payload=i, ready_at=r)
+           for i, (s, r) in enumerate(units)]
+    if batched:
+        link.send_many(txs)
+    else:
+        for tx in txs:
+            link.send(tx)
+    sim.run_all()
+    return deliveries, link
+
+
+@given(units=st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0,
+                  allow_nan=False, allow_infinity=False),
+        st.floats(min_value=0.0, max_value=20.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1, max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_send_many_property_matches_sequential(units):
+    """For any mix of service times (zeros included) and ready_at
+    stretches, the batched schedule is observationally identical to the
+    per-completion callback chain: same delivery times, same payload
+    order, same link accounting, and the wire ends idle."""
+    got_b, link_b = _link_deliveries_with_ready(True, units)
+    got_s, link_s = _link_deliveries_with_ready(False, units)
+    assert got_b == got_s
+    assert [p for _, p in got_b] == list(range(len(units)))
+    assert not link_b._busy and not link_s._busy
+    assert link_b._busy_bytes == 0 and link_s._busy_bytes == 0
+    assert link_b.busy_time == pytest.approx(link_s.busy_time)
+    assert link_b.tx_count == link_s.tx_count == len(units)
+
+
+@given(services=st.lists(
+    st.floats(min_value=0.0, max_value=5.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_send_many_property_matches_flow_shop(services):
+    """Without ready_at stretches the burst is a single-machine flow
+    shop: delivery times must equal segsim's first completion column."""
+    pytest.importorskip("numpy")
+    from repro.net.segsim import flow_shop_completion_times
+
+    deliveries, _ = _link_deliveries(True, services)
+    expected = flow_shop_completion_times([[s] for s in services])[:, 0]
+    assert [t for t, _ in deliveries] == pytest.approx(list(expected))
 
 
 # ---------------------------------------------------------------------------
