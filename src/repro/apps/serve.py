@@ -1,0 +1,396 @@
+"""Open-loop multi-tenant serving scenario (docs/SERVING.md).
+
+Where :mod:`repro.apps.vizserver` reproduces the paper's single-client
+figures, this module restates Figs 7–9 as a *capacity* question: how
+much open-loop load can a sharded visualization service sustain per
+transport before latency SLOs and drop rates give way?
+
+Architecture
+------------
+The dataset is sharded: a cluster of ``hosts`` nodes (built by
+:func:`repro.cluster.topology.serving_topology`) is carved into
+``hosts // 2`` independent two-stage pipelines — a *repository* filter
+on one host streaming query responses to a *frontend* filter on its
+neighbour over the transport under test.  Each tenant's data lives
+wholly on one shard (``tenant_index % n_shards``, an O(1) indexed
+lookup), so the per-query work is independent of cluster size: growing
+from 64 to 1024 hosts multiplies the shards and the aggregate load but
+leaves the events-per-query cost flat, which the ``serve_scale`` panel
+asserts to ±10%.
+
+Admission control
+-----------------
+Arrivals come from a pre-drawn :class:`~repro.apps.workload.OpenLoopSchedule`
+(see that module for the open-loop and determinism guarantees).  A
+single dispatcher process replays the schedule, routing each arrival to
+its shard's bounded :class:`~repro.datacutter.scheduling.AdmissionQueue`
+via ``offer()``: a full queue refuses the query and the refusal is
+*counted* as a drop — the overload signal the suite reports — never
+blocking the arrival clock.  After the last arrival the dispatcher
+closes every queue; admitted items drain, filters see end-of-stream,
+and the simulation quiesces with ``offered == completed + dropped``.
+
+Metrics
+-------
+The frontend records per-query latency (admission to last byte
+assembled) into raw per-kind lists; :class:`ServeResult` reports exact
+nearest-rank p50/p99 (:func:`repro.sim.stats.percentile`), sustained
+throughput, and drop rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.dataset import ImageDataset
+from repro.apps.workload import (
+    FIG9_SERVING_MIX,
+    OpenLoopSchedule,
+    QUERY_KINDS,
+    QueryMix,
+    TenantSpec,
+    build_schedule,
+    uniform_tenants,
+)
+from repro.cluster.topology import Cluster, serving_topology
+from repro.datacutter import DataCutterRuntime, Filter, FilterGroup
+from repro.datacutter.scheduling import AdmissionQueue
+from repro.errors import ExperimentError
+from repro.sim.core import global_events_processed
+from repro.sim.stats import percentile
+
+__all__ = [
+    "ServeConfig",
+    "ServeResult",
+    "ServeApp",
+    "run_serve",
+    "SERVE_IMAGE_BYTES",
+    "SERVE_BLOCK_BYTES",
+]
+
+#: Serving-sized per-tenant dataset: a 256 KB viewport image in 32 KB
+#: blocks (complete = 8 blocks, zoom = 4, partial = 1).  Much smaller
+#: than the 16 MB archive image of the figure reproductions — a
+#: serving tier answers from a working set, not the archive.
+SERVE_IMAGE_BYTES = 256 * 1024
+SERVE_BLOCK_BYTES = 32 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one serving run."""
+
+    protocol: str = "socketvia"
+    hosts: int = 64                  #: cluster width; shards = hosts // 2
+    rate_per_shard: float = 200.0    #: offered queries/second per shard
+    horizon: float = 0.05            #: arrival window (seconds)
+    queue_capacity: int = 8          #: admission queue depth per shard
+    arrival: str = "poisson"         #: "poisson" or "bursty" (MMPP)
+    tenants: int = 0                 #: 0 -> one tenant per shard
+    clients_per_tenant: int = 64
+    mix: QueryMix = FIG9_SERVING_MIX
+    image_bytes: int = SERVE_IMAGE_BYTES
+    block_bytes: int = SERVE_BLOCK_BYTES
+    partial_blocks: int = 1
+    zoom_chunks: int = 4
+    compute_ns_per_byte: float = 0.0
+    policy: str = "dd"
+    max_outstanding: int = 2
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.hosts < 2:
+            raise ExperimentError("serve needs >= 2 hosts (one shard)")
+        if self.rate_per_shard <= 0:
+            raise ExperimentError("rate_per_shard must be > 0")
+
+    @property
+    def n_shards(self) -> int:
+        return self.hosts // 2
+
+    def dataset(self) -> ImageDataset:
+        return ImageDataset.with_block_bytes(self.image_bytes, self.block_bytes)
+
+    def blocks_for(self, kind: str) -> int:
+        """Response size of one query kind, in dataset blocks."""
+        dataset = self.dataset()
+        if kind == "complete":
+            return dataset.n_blocks
+        if kind == "partial":
+            return min(self.partial_blocks, dataset.n_blocks)
+        if kind == "zoom":
+            return min(self.zoom_chunks, dataset.n_blocks)
+        raise ExperimentError(f"unknown query kind {kind!r}")
+
+    def tenant_specs(self) -> List[TenantSpec]:
+        """The tenant population: by default one tenant per shard, so
+        the aggregate offered load is ``rate_per_shard * n_shards``."""
+        n = self.tenants or self.n_shards
+        total_rate = self.rate_per_shard * self.n_shards
+        return uniform_tenants(
+            n,
+            rate_per_tenant=total_rate / n,
+            clients=self.clients_per_tenant,
+            mix=self.mix,
+            arrival=self.arrival,
+        )
+
+
+@dataclass
+class _ServeState:
+    """Objects the dispatcher and every shard's filters share."""
+
+    config: ServeConfig
+    bytes_for: Dict[str, int]
+    queues: List[AdmissionQueue] = field(default_factory=list)
+    latencies: Dict[str, List[float]] = field(
+        default_factory=lambda: {kind: [] for kind in QUERY_KINDS}
+    )
+    dispatch_dropped: int = 0
+
+
+class _RepositoryFilter(Filter):
+    """Drains one shard's admission queue; emits the response bytes of
+    each admitted query as a single coalesced buffer."""
+
+    def __init__(self, state: _ServeState, shard: int) -> None:
+        self.state = state
+        self.shard = shard
+
+    def process(self, ctx):
+        cfg = self.state.config
+        queue = self.state.queues[self.shard]
+        while True:
+            item = yield from queue.get()
+            if item is None:
+                return
+            arrival, submitted = item
+            nbytes = self.state.bytes_for[arrival.kind]
+            if cfg.compute_ns_per_byte > 0:
+                yield from ctx.compute_bytes(
+                    nbytes, ns_per_byte=cfg.compute_ns_per_byte
+                )
+            yield from ctx.write_new(
+                nbytes,
+                kind=arrival.kind,
+                tenant=arrival.tenant,
+                client=arrival.client,
+                submitted=submitted,
+            )
+
+
+class _FrontendFilter(Filter):
+    """Receives responses; records admission-to-assembly latency."""
+
+    def __init__(self, state: _ServeState) -> None:
+        self.state = state
+
+    def process(self, ctx):
+        while True:
+            buf = yield from ctx.read()
+            if buf is None:
+                return
+            latency = ctx.sim.now - buf.meta["submitted"]
+            self.state.latencies[buf.meta["kind"]].append(latency)
+
+
+@dataclass
+class ServeResult:
+    """Measured outcome of one serving run."""
+
+    config: ServeConfig
+    offered: int
+    admitted: int
+    dropped: int
+    completed: int
+    elapsed: float
+    latencies: Dict[str, List[float]]
+    events: int
+    high_water: int      #: max admission-queue depth over all shards
+
+    def __post_init__(self) -> None:
+        if self.offered != self.admitted + self.dropped:
+            raise ExperimentError(
+                f"conservation violated: offered={self.offered} != "
+                f"admitted={self.admitted} + dropped={self.dropped}"
+            )
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Sustained completions per second over the measured run."""
+        if self.elapsed <= 0:
+            raise ExperimentError("no elapsed time measured")
+        return self.completed / self.elapsed
+
+    @property
+    def events_per_query(self) -> float:
+        """Kernel events per completed query — the cost-flatness metric."""
+        if not self.completed:
+            raise ExperimentError("no queries completed")
+        return self.events / self.completed
+
+    def all_latencies(self) -> List[float]:
+        out: List[float] = []
+        for kind in QUERY_KINDS:
+            out.extend(self.latencies[kind])
+        return out
+
+    def latency_p(self, q: float, kind: Optional[str] = None) -> float:
+        """Exact nearest-rank percentile latency (seconds)."""
+        values = self.latencies[kind] if kind else self.all_latencies()
+        if not values:
+            raise ExperimentError(
+                f"no completed queries for kind={kind!r}"
+            )
+        return percentile(values, q)
+
+    @property
+    def p50(self) -> float:
+        return self.latency_p(50)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_p(99)
+
+
+class ServeApp:
+    """Builds the sharded pipelines and replays an open-loop schedule."""
+
+    def __init__(self, cluster: Cluster, config: ServeConfig) -> None:
+        n_shards = cluster.n_hosts // 2
+        if n_shards < 1:
+            raise ExperimentError(
+                f"serve needs >= 2 hosts, cluster has {cluster.n_hosts}"
+            )
+        if config.hosts > cluster.n_hosts:
+            raise ExperimentError(
+                f"config wants {config.hosts} hosts, cluster has "
+                f"{cluster.n_hosts}"
+            )
+        self.cluster = cluster
+        self.config = config
+        self.n_shards = n_shards
+        self.state = _ServeState(
+            config=config,
+            bytes_for={
+                kind: config.blocks_for(kind) * config.block_bytes
+                for kind in QUERY_KINDS
+            },
+        )
+        self.runtime = DataCutterRuntime(
+            cluster,
+            protocol=config.protocol,
+            max_outstanding=config.max_outstanding,
+        )
+        self.instances = []
+        for shard in range(n_shards):
+            group = FilterGroup(f"serve{shard:04d}", default_policy=config.policy)
+            group.add_filter(
+                "repo", lambda s=shard: _RepositoryFilter(self.state, s)
+            )
+            group.add_filter("front", lambda: _FrontendFilter(self.state))
+            group.connect("responses", "repo", "front")
+            # Shard s lives on hosts 2s / 2s+1 — positional, O(1).
+            placement = group.place({
+                "repo": [cluster.host_at(2 * shard).name],
+                "front": [cluster.host_at(2 * shard + 1).name],
+            })
+            instance = self.runtime.instantiate(group, placement)
+            self.state.queues.append(
+                instance.admission_queue("ingress", config.queue_capacity)
+            )
+            self.instances.append(instance)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def _dispatch(self, schedule: OpenLoopSchedule):
+        """Replay the pre-drawn schedule against the shard queues."""
+        sim = self.cluster.sim
+        state = self.state
+        # Tenant -> shard is a precomputed indexed map, so routing one
+        # arrival is O(1) regardless of cluster width.
+        shard_of = [i % self.n_shards for i in range(len(schedule.tenants))]
+        start = sim.now
+        for arrival in schedule.arrivals:
+            due = start + arrival.at
+            if due > sim.now:
+                yield sim.timeout(due - sim.now)
+            queue = state.queues[shard_of[arrival.tenant_index]]
+            if not queue.offer((arrival, sim.now)):
+                state.dispatch_dropped += 1
+        for queue in state.queues:
+            queue.close()
+
+    # -- run -------------------------------------------------------------------------
+
+    def run(self, schedule: OpenLoopSchedule) -> ServeResult:
+        """Execute the schedule; owns the whole simulation run."""
+        sim = self.cluster.sim
+        measured: Dict[str, float] = {}
+        events_before = global_events_processed()
+
+        def main():
+            starts = [
+                sim.process(inst.start(), name=f"{inst.group.name}.start")
+                for inst in self.instances
+            ]
+            yield sim.all_of(starts)
+            t0 = sim.now
+            sim.process(self._dispatch(schedule), name="serve.dispatch")
+            uows = [
+                sim.process(inst.run_uow(payload=None),
+                            name=f"{inst.group.name}.uow")
+                for inst in self.instances
+            ]
+            yield sim.all_of(uows)
+            measured["elapsed"] = sim.now - t0
+            for inst in self.instances:
+                yield from inst.finalize()
+
+        done = sim.process(main(), name="serve.main")
+        sim.run(done)
+
+        admitted = sum(q.admitted for q in self.state.queues)
+        dropped = sum(q.dropped for q in self.state.queues)
+        if dropped != self.state.dispatch_dropped:
+            raise ExperimentError(
+                f"drop accounting mismatch: queues counted {dropped}, "
+                f"dispatcher saw {self.state.dispatch_dropped}"
+            )
+        completed = sum(len(v) for v in self.state.latencies.values())
+        if completed != admitted:
+            raise ExperimentError(
+                f"admitted {admitted} queries but completed {completed} "
+                "(admitted work must drain before close)"
+            )
+        return ServeResult(
+            config=self.config,
+            offered=len(schedule),
+            admitted=admitted,
+            dropped=dropped,
+            completed=completed,
+            elapsed=measured["elapsed"],
+            latencies=self.state.latencies,
+            events=global_events_processed() - events_before,
+            high_water=max((q.high_water for q in self.state.queues),
+                           default=0),
+        )
+
+
+def run_serve(
+    config: ServeConfig,
+    cluster: Optional[Cluster] = None,
+    schedule: Optional[OpenLoopSchedule] = None,
+) -> ServeResult:
+    """Build the serving topology (unless given), draw the schedule
+    (unless given), run, and return measured results."""
+    cluster = cluster or serving_topology(config.hosts, seed=config.seed)
+    schedule = schedule or build_schedule(
+        config.tenant_specs(), config.horizon, config.seed
+    )
+    return ServeApp(cluster, config).run(schedule)

@@ -56,6 +56,7 @@ from repro.bench.microbench import (
     via_streaming_bandwidth,
 )
 from repro.bench.records import ExperimentTable, ratio
+from repro.bench.servebench import serve_cell, serve_scale_cell
 from repro.cluster.hetero import RandomSlowdown, StaticSlowdown
 from repro.net.calibration import get_model
 from repro.sim.units import bytes_per_sec_to_mbps, to_usec, usec
@@ -1073,4 +1074,6 @@ POINT_FNS: Dict[str, Any] = {
     "fig11_cell": fig11_cell,
     "chaos8_rate": chaos8_rate,
     "chaos11_cell": chaos11_cell,
+    "serve_cell": serve_cell,
+    "serve_scale_cell": serve_scale_cell,
 }

@@ -1,0 +1,255 @@
+"""The ``serve`` suite: open-loop serving capacity vs transport.
+
+Two panels (docs/SERVING.md):
+
+* ``serve`` — sustained throughput, exact p50/p99 latency, and drop
+  rate vs offered load per shard, TCP vs SocketVIA side by side, on a
+  256-host sharded topology.  Poisson rows sweep the load axis across
+  the capacity knee of both transports; two bursty (MMPP on/off) rows
+  repeat mid-axis loads at the *same mean rate* to show what arrival
+  clumping alone does to tails and drops.
+* ``serve_scale`` — events-per-completed-query at a fixed per-shard
+  load while the cluster grows 64 -> 1024 hosts.  The simulator's cost
+  per query must not grow with cluster width (indexed demux, bucketed
+  demand-driven pick, O(1) shard routing); the ``serve_scale_flat``
+  claim pins the spread to <= 1.10.
+
+Both panels decompose into cache-addressable points
+(:func:`serve_points` / :func:`serve_scale_points`) exactly like the
+figure sweeps, so ``bench run serve --jobs N`` parallelizes per cell
+and reruns are cache hits.  Every metric is simulated or an event
+count — no wall-clock columns — so the comparator gates the whole
+record exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.apps.serve import ServeConfig, run_serve
+from repro.bench.executor import Point, PointPlan
+from repro.bench.records import ExperimentTable
+
+__all__ = [
+    "serve_cell",
+    "serve_scale_cell",
+    "serve_load_sweep",
+    "serve_scale_sweep",
+    "serve_points",
+    "serve_scale_points",
+    "SERVE_HOSTS",
+    "SERVE_RATES",
+    "SERVE_BURSTY_RATES",
+    "SERVE_SCALE_HOSTS",
+    "SERVE_SCALE_RATE",
+    "SERVE_SEED",
+]
+
+#: Load panel cluster width (>= 256 hosts per the acceptance bar).
+SERVE_HOSTS = 256
+#: Offered load axis, queries/second per shard (Poisson rows).  Spans
+#: under -> over the capacity knee of both transports: TCP saturates
+#: near ~570 q/s/shard, SocketVIA near ~900.
+SERVE_RATES = (200.0, 500.0, 800.0, 1100.0)
+#: Mid-axis loads repeated with MMPP on/off arrivals (same mean rate).
+SERVE_BURSTY_RATES = (500.0, 800.0)
+#: Arrival window of the load panel (seconds of simulated time).
+SERVE_HORIZON = 0.05
+#: Scale panel: cluster widths at a fixed per-shard load.
+SERVE_SCALE_HOSTS = (64, 256, 1024)
+SERVE_SCALE_RATE = 300.0
+SERVE_SCALE_HORIZON = 0.04
+SERVE_SEED = 17
+
+_PROTOCOLS = ("socketvia", "tcp")
+
+_SERVE_NOTE = (
+    "open-loop arrivals: the offered schedule is drawn before the "
+    "simulation and is identical for both transports (offered_sv == "
+    "offered_tcp) — overload shows up as drops, never as a slowed client"
+)
+_SCALE_NOTE = (
+    "fixed 300 q/s/shard while the cluster grows; events per completed "
+    "query must stay flat (spread <= 1.10) — per-query cost is "
+    "independent of cluster width"
+)
+
+
+def serve_cell(protocol: str, hosts: int, rate_per_shard: float,
+               horizon: float, arrival: str, seed: int) -> List[float]:
+    """Point: one (protocol, load, arrival-process) serving run.
+
+    Returns ``[offered, qps, p50_ms, p99_ms, drop_rate]``.
+    """
+    result = run_serve(ServeConfig(
+        protocol=protocol,
+        hosts=hosts,
+        rate_per_shard=rate_per_shard,
+        horizon=horizon,
+        arrival=arrival,
+        seed=seed,
+    ))
+    return [
+        float(result.offered),
+        float(result.throughput),
+        float(result.p50 * 1e3),
+        float(result.p99 * 1e3),
+        float(result.drop_rate),
+    ]
+
+
+def serve_scale_cell(protocol: str, hosts: int, rate_per_shard: float,
+                     horizon: float, arrival: str, seed: int) -> List[float]:
+    """Point: one (protocol, cluster-width) cost-flatness run.
+
+    Returns ``[completed, events_per_query]``.
+    """
+    result = run_serve(ServeConfig(
+        protocol=protocol,
+        hosts=hosts,
+        rate_per_shard=rate_per_shard,
+        horizon=horizon,
+        arrival=arrival,
+        seed=seed,
+    ))
+    return [float(result.completed), float(result.events_per_query)]
+
+
+def _serve_table() -> ExperimentTable:
+    return ExperimentTable(
+        "serve",
+        "Open-loop serving: throughput / latency / drops vs offered load",
+        ["arrival", "rate_per_shard", "offered_sv", "offered_tcp",
+         "SocketVIA_qps", "TCP_qps",
+         "SocketVIA_p50_ms", "TCP_p50_ms",
+         "SocketVIA_p99_ms", "TCP_p99_ms",
+         "SocketVIA_drop_rate", "TCP_drop_rate"],
+    )
+
+
+def _scale_table() -> ExperimentTable:
+    return ExperimentTable(
+        "serve_scale",
+        "Per-query event cost vs cluster width (fixed per-shard load)",
+        ["hosts", "shards",
+         "SocketVIA_completed", "TCP_completed",
+         "SocketVIA_ev_per_query", "TCP_ev_per_query"],
+    )
+
+
+def _serve_axis(rates, bursty_rates):
+    """Row keys of the load panel: Poisson sweep then bursty repeats."""
+    axis = [("poisson", float(r)) for r in rates]
+    axis += [("bursty", float(r)) for r in bursty_rates]
+    return axis
+
+
+def _serve_row(arrival: str, rate: float, sv: List[float],
+               tcp: List[float]) -> List[Any]:
+    return [arrival, rate, sv[0], tcp[0], sv[1], tcp[1],
+            sv[2], tcp[2], sv[3], tcp[3], sv[4], tcp[4]]
+
+
+def serve_load_sweep(
+    hosts: int = SERVE_HOSTS,
+    rates=None,
+    bursty_rates=None,
+    horizon: float = SERVE_HORIZON,
+    seed: int = SERVE_SEED,
+) -> ExperimentTable:
+    """The ``serve`` panel, serial path."""
+    axis = _serve_axis(rates or SERVE_RATES,
+                       SERVE_BURSTY_RATES if bursty_rates is None
+                       else bursty_rates)
+    table = _serve_table()
+    for arrival, rate in axis:
+        cells = {
+            proto: serve_cell(proto, hosts, rate, horizon, arrival, seed)
+            for proto in _PROTOCOLS
+        }
+        table.add_row(*_serve_row(arrival, rate,
+                                  cells["socketvia"], cells["tcp"]))
+    table.add_note(_SERVE_NOTE)
+    return table
+
+
+def serve_points(
+    hosts: int = SERVE_HOSTS,
+    rates=None,
+    bursty_rates=None,
+    horizon: float = SERVE_HORIZON,
+    seed: int = SERVE_SEED,
+) -> PointPlan:
+    """The ``serve`` panel as one point per (arrival, rate, protocol)."""
+    axis = _serve_axis(rates or SERVE_RATES,
+                       SERVE_BURSTY_RATES if bursty_rates is None
+                       else bursty_rates)
+    points = [
+        Point("serve", "serve_cell",
+              {"protocol": proto, "hosts": int(hosts),
+               "rate_per_shard": rate, "horizon": float(horizon),
+               "arrival": arrival, "seed": int(seed)})
+        for arrival, rate in axis
+        for proto in _PROTOCOLS
+    ]
+
+    def merge(values: List[Any]) -> ExperimentTable:
+        table = _serve_table()
+        for i, (arrival, rate) in enumerate(axis):
+            sv, tcp = values[2 * i], values[2 * i + 1]
+            table.add_row(*_serve_row(arrival, rate, sv, tcp))
+        table.add_note(_SERVE_NOTE)
+        return table
+
+    return PointPlan("serve", points, merge)
+
+
+def serve_scale_sweep(
+    hosts_axis=None,
+    rate_per_shard: float = SERVE_SCALE_RATE,
+    horizon: float = SERVE_SCALE_HORIZON,
+    seed: int = SERVE_SEED,
+) -> ExperimentTable:
+    """The ``serve_scale`` panel, serial path."""
+    hosts_axis = [int(h) for h in (hosts_axis or SERVE_SCALE_HOSTS)]
+    table = _scale_table()
+    for hosts in hosts_axis:
+        cells = {
+            proto: serve_scale_cell(proto, hosts, rate_per_shard,
+                                    horizon, "poisson", seed)
+            for proto in _PROTOCOLS
+        }
+        table.add_row(hosts, hosts // 2,
+                      cells["socketvia"][0], cells["tcp"][0],
+                      cells["socketvia"][1], cells["tcp"][1])
+    table.add_note(_SCALE_NOTE)
+    return table
+
+
+def serve_scale_points(
+    hosts_axis=None,
+    rate_per_shard: float = SERVE_SCALE_RATE,
+    horizon: float = SERVE_SCALE_HORIZON,
+    seed: int = SERVE_SEED,
+) -> PointPlan:
+    """The ``serve_scale`` panel as one point per (width, protocol)."""
+    hosts_axis = [int(h) for h in (hosts_axis or SERVE_SCALE_HOSTS)]
+    points = [
+        Point("serve_scale", "serve_scale_cell",
+              {"protocol": proto, "hosts": hosts,
+               "rate_per_shard": float(rate_per_shard),
+               "horizon": float(horizon), "arrival": "poisson",
+               "seed": int(seed)})
+        for hosts in hosts_axis
+        for proto in _PROTOCOLS
+    ]
+
+    def merge(values: List[Any]) -> ExperimentTable:
+        table = _scale_table()
+        for i, hosts in enumerate(hosts_axis):
+            sv, tcp = values[2 * i], values[2 * i + 1]
+            table.add_row(hosts, hosts // 2, sv[0], tcp[0], sv[1], tcp[1])
+        table.add_note(_SCALE_NOTE)
+        return table
+
+    return PointPlan("serve_scale", points, merge)

@@ -48,6 +48,7 @@ def _panel_specs() -> Dict[str, tuple]:
     quick axes can never diverge between the two paths.
     """
     from repro.bench import figures as f
+    from repro.bench import servebench as sb
 
     return {
         # fig2 is a closed-form model evaluation with no sweep axes, so
@@ -92,6 +93,18 @@ def _panel_specs() -> Dict[str, tuple]:
         "c11": (f.chaos11_crash_recovery, f.chaos11_points, {},
                 {"probabilities": [0.1, 0.9],
                  "total_bytes": 2 * 1024 * 1024}),
+        # Serving panels (repro.bench.servebench): open-loop capacity
+        # vs offered load, and per-query event-cost flatness vs
+        # cluster width.  Quick mode shrinks the cluster and horizon —
+        # CI's serve-smoke job runs exactly those axes.
+        "serve": (sb.serve_load_sweep, sb.serve_points, {},
+                  {"hosts": 64, "rates": [200.0, 800.0],
+                   "bursty_rates": [800.0], "horizon": 0.02}),
+        # Quick widths start at 32 hosts: narrower clusters amortize
+        # the per-shard setup over too few queries for the flatness
+        # claim to be meaningful at a short horizon.
+        "serve_scale": (sb.serve_scale_sweep, sb.serve_scale_points, {},
+                        {"hosts_axis": [32, 64], "horizon": 0.03}),
     }
 
 
@@ -184,7 +197,7 @@ RUNTIME_HINT = {
     "7b": "~30 s", "8a": "~20 s", "8b": "~20 s", "9a": "~30 s",
     "9b": "~30 s", "10": "~1 s", "11": "~4 s", "c8": "~30 s",
     "c11": "~10 s", "kernel": "~3 s", "sweep": "~2 min",
-    "fluid": "~5 s",
+    "fluid": "~5 s", "serve": "~1 min", "serve_scale": "~30 s",
 }
 
 
@@ -795,6 +808,139 @@ def _fluid_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# serve — open-loop serving capacity (repro.bench.servebench)
+# ---------------------------------------------------------------------------
+
+
+def _serve_rows(table: ExperimentTable) -> List[Dict]:
+    return [dict(zip(table.columns, row)) for row in table.rows]
+
+
+def _serve_poisson_cell(table: ExperimentTable, rate: float, col: str):
+    """Cell lookup on the load panel's Poisson rows by rate."""
+    for row in _serve_rows(table):
+        if row["arrival"] == "poisson" and row["rate_per_shard"] == rate:
+            return row[col]
+    return None
+
+
+def _serve_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    anchors: List[Anchor] = []
+    load = tables.get("serve")
+    if load is not None:
+        rates = [r["rate_per_shard"] for r in _serve_rows(load)
+                 if r["arrival"] == "poisson"]
+        low, top = min(rates), max(rates)
+        anchors += [
+            Anchor("serve_sv_top_qps",
+                   "SocketVIA sustained throughput at the top Poisson "
+                   "load (deterministic)",
+                   _serve_poisson_cell(load, top, "SocketVIA_qps"),
+                   group="serve", unit="q/s"),
+            Anchor("serve_tcp_top_qps",
+                   "TCP sustained throughput at the top Poisson load "
+                   "(deterministic)",
+                   _serve_poisson_cell(load, top, "TCP_qps"),
+                   group="serve", unit="q/s"),
+            Anchor("serve_sv_p99_light_ms",
+                   "SocketVIA p99 latency at the lightest Poisson load "
+                   "(deterministic)",
+                   _serve_poisson_cell(load, low, "SocketVIA_p99_ms"),
+                   group="serve", unit="ms"),
+            Anchor("serve_tcp_p99_light_ms",
+                   "TCP p99 latency at the lightest Poisson load "
+                   "(deterministic)",
+                   _serve_poisson_cell(load, low, "TCP_p99_ms"),
+                   group="serve", unit="ms"),
+            Anchor("serve_tcp_top_drop_rate",
+                   "TCP drop rate at the top Poisson load "
+                   "(deterministic)",
+                   _serve_poisson_cell(load, top, "TCP_drop_rate"),
+                   group="serve", unit="frac"),
+        ]
+    scale = tables.get("serve_scale")
+    if scale is not None:
+        spreads = []
+        for col in ("SocketVIA_ev_per_query", "TCP_ev_per_query"):
+            vals = [v for v in scale.column(col) if v]
+            if vals:
+                spreads.append(max(vals) / min(vals))
+        anchors.append(Anchor(
+            "serve_scale_max_spread",
+            "worst max/min events-per-query spread across cluster "
+            "widths, either transport (deterministic; bar is 1.10)",
+            max(spreads) if spreads else None,
+            group="serve_scale", unit="x"))
+    return anchors
+
+
+def _serve_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    claims: List[Claim] = []
+    load = tables.get("serve")
+    if load is not None:
+        rows = _serve_rows(load)
+        poisson = [r for r in rows if r["arrival"] == "poisson"]
+        rates = [r["rate_per_shard"] for r in poisson]
+        low, top = min(rates), max(rates)
+        top_row = next(r for r in poisson if r["rate_per_shard"] == top)
+        low_row = next(r for r in poisson if r["rate_per_shard"] == low)
+        bursty = [r for r in rows if r["arrival"] == "bursty"]
+        by_key = {(r["arrival"], r["rate_per_shard"]): r for r in rows}
+        tail_pairs = [
+            (by_key[("poisson", r["rate_per_shard"])], r)
+            for r in bursty
+            if ("poisson", r["rate_per_shard"]) in by_key
+        ]
+        claims += [
+            Claim("serve_open_loop",
+                  "both transports face the identical offered schedule "
+                  "in every row (the generator is open-loop)",
+                  all(r["offered_sv"] == r["offered_tcp"] for r in rows),
+                  "serve"),
+            Claim("serve_sv_sustains_more",
+                  "at the top offered load SocketVIA sustains at least "
+                  "TCP's throughput with no higher drop rate",
+                  top_row["SocketVIA_qps"] >= top_row["TCP_qps"]
+                  and top_row["SocketVIA_drop_rate"]
+                  <= top_row["TCP_drop_rate"], "serve"),
+            Claim("serve_no_drops_light",
+                  "at the lightest load neither transport drops a query",
+                  low_row["SocketVIA_drop_rate"] == 0.0
+                  and low_row["TCP_drop_rate"] == 0.0, "serve"),
+            Claim("serve_tcp_overloads_first",
+                  "the load axis crosses TCP's capacity knee: TCP drops "
+                  "queries at the top load",
+                  top_row["TCP_drop_rate"] > 0.0, "serve"),
+            Claim("serve_p99_grows_with_load",
+                  "for both transports p99 at the top Poisson load "
+                  "exceeds p99 at the lightest (congestion is visible)",
+                  top_row["SocketVIA_p99_ms"] > low_row["SocketVIA_p99_ms"]
+                  and top_row["TCP_p99_ms"] > low_row["TCP_p99_ms"],
+                  "serve"),
+            Claim("serve_bursty_worse_tail",
+                  "at equal mean rate, bursty (MMPP) arrivals never "
+                  "improve the p99 tail of either transport",
+                  all(b["SocketVIA_p99_ms"] >= p["SocketVIA_p99_ms"]
+                      and b["TCP_p99_ms"] >= p["TCP_p99_ms"]
+                      for p, b in tail_pairs) and bool(tail_pairs),
+                  "serve"),
+        ]
+    scale = tables.get("serve_scale")
+    if scale is not None:
+        flat = True
+        for col in ("SocketVIA_ev_per_query", "TCP_ev_per_query"):
+            vals = [v for v in scale.column(col) if v]
+            if not vals or max(vals) / min(vals) > 1.10:
+                flat = False
+        claims.append(Claim(
+            "serve_scale_flat",
+            "events per completed query stay within a 1.10x spread as "
+            "the cluster grows (per-event cost independent of width)",
+            flat, "serve_scale"))
+    return claims
+
+
 def _no_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
     return []
 
@@ -834,6 +980,10 @@ SUITES: Dict[str, BenchSuite] = {
         BenchSuite("fluid", "Fluid-flow vs packet: transfer fidelity and "
                    "event economy", ("fluid",),
                    _fluid_anchors, _fluid_claims),
+        BenchSuite("serve", "Open-loop multi-tenant serving: capacity, "
+                   "SLO latency, and drops vs offered load",
+                   ("serve", "serve_scale"),
+                   _serve_anchors, _serve_claims),
     )
 }
 

@@ -14,6 +14,11 @@ Commands
     Run a figure (quick axes by default) with cross-layer trace
     recording on and print per-kind counts, the layers covered, and a
     sample of records.
+``serve``
+    Run one open-loop serving scenario (docs/SERVING.md) and print its
+    capacity report: offered/admitted/dropped counts, sustained
+    throughput, exact p50/p99 latency per query kind, and admission
+    queue stats.  The full sweep is ``bench run serve``.
 ``bench run|compare|report|list``
     The benchmark harness: run experiment suites into schema-versioned
     ``BENCH_<experiment>.json`` records (``--jobs N`` fans the figure
@@ -132,6 +137,43 @@ def cmd_trace(args: argparse.Namespace) -> int:
                     default=str,
                 ) + "\n")
         print(f"\nwrote {len(records)} records to {args.out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.apps.serve import ServeConfig, run_serve
+    from repro.apps.workload import QUERY_KINDS
+    from repro.sim.flow import simulation_mode
+
+    config = ServeConfig(
+        protocol=args.protocol,
+        hosts=args.hosts,
+        rate_per_shard=args.rate,
+        horizon=args.horizon,
+        queue_capacity=args.capacity,
+        arrival=args.arrival,
+        seed=args.seed,
+    )
+    with simulation_mode(args.mode):
+        result = run_serve(config)
+    print(f"serve: {args.protocol} on {args.hosts} hosts "
+          f"({config.n_shards} shards), {args.arrival} arrivals at "
+          f"{args.rate:g} q/s/shard over {args.horizon:g} s")
+    print(f"  offered   : {result.offered}")
+    print(f"  admitted  : {result.admitted}")
+    print(f"  dropped   : {result.dropped} "
+          f"(drop rate {result.drop_rate:.3f})")
+    print(f"  completed : {result.completed}")
+    print(f"  throughput: {result.throughput:,.0f} q/s sustained")
+    print(f"  latency   : p50 {result.p50 * 1e3:.3f} ms, "
+          f"p99 {result.p99 * 1e3:.3f} ms")
+    for kind in QUERY_KINDS:
+        if result.latencies[kind]:
+            print(f"    {kind:<9}: p50 {result.latency_p(50, kind) * 1e3:.3f} ms, "
+                  f"p99 {result.latency_p(99, kind) * 1e3:.3f} ms "
+                  f"({len(result.latencies[kind])} queries)")
+    print(f"  queueing  : high water {result.high_water}/{args.capacity}, "
+          f"{result.events_per_query:.1f} kernel events/query")
     return 0
 
 
@@ -374,6 +416,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--out", metavar="FILE", default=None,
                          help="dump matching records as JSON lines")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="run one open-loop serving scenario"
+    )
+    p_serve.add_argument("--protocol", choices=("socketvia", "tcp"),
+                         default="socketvia")
+    p_serve.add_argument("--hosts", type=int, default=64,
+                         help="cluster width; shards = hosts // 2 "
+                              "(default 64)")
+    p_serve.add_argument("--rate", type=float, default=300.0,
+                         help="offered queries/second per shard "
+                              "(default 300)")
+    p_serve.add_argument("--horizon", type=float, default=0.05,
+                         help="arrival window, simulated seconds "
+                              "(default 0.05)")
+    p_serve.add_argument("--capacity", type=int, default=8,
+                         help="admission queue depth per shard (default 8)")
+    p_serve.add_argument("--arrival", choices=("poisson", "bursty"),
+                         default="poisson",
+                         help="arrival process (bursty = MMPP on/off)")
+    p_serve.add_argument("--seed", type=int, default=17)
+    p_serve.add_argument("--mode", choices=("packet", "fluid", "auto"),
+                         default=None,
+                         help="simulation mode (default: REPRO_SIM_MODE "
+                              "env or packet)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_list = sub.add_parser("list", help="list available figures")
     p_list.set_defaults(func=cmd_list)

@@ -8,7 +8,7 @@ from repro.cluster.hetero import (
 )
 from repro.cluster.host import Host, VIRTUAL_MICROSCOPE_NS_PER_BYTE
 from repro.cluster.link import LinkDirection, Port, Switch, Transmission
-from repro.cluster.topology import Cluster, paper_testbed
+from repro.cluster.topology import Cluster, paper_testbed, serving_topology
 
 __all__ = [
     "Host",
@@ -23,4 +23,5 @@ __all__ = [
     "Switch",
     "Cluster",
     "paper_testbed",
+    "serving_topology",
 ]

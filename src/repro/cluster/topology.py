@@ -10,6 +10,11 @@ The default construction mirrors the paper's testbed: 16 dual-CPU nodes
 with a GigaNet cLAN fabric and a Fast Ethernet fabric (the experiments
 only exercise cLAN — TCP runs over cLAN's LAN-emulation path — but both
 fabrics exist so the TCP-over-FastEthernet configuration is available).
+
+:func:`serving_topology` is the wide variant behind the ``serve``
+scenario (docs/SERVING.md): 64–1024 hosts on a single cLAN fabric,
+with O(1) positional host access via :meth:`Cluster.host_at` so
+shard-indexed demux never scans the host table.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from repro.cluster.hetero import SlowdownModel
 from repro.cluster.host import Host
 from repro.cluster.link import Port, Switch
 
-__all__ = ["Cluster", "paper_testbed"]
+__all__ = ["Cluster", "paper_testbed", "serving_topology"]
 
 
 def _active_fault_plan():
@@ -53,6 +58,10 @@ class Cluster:
         self.tracer = tracer or default_tracer()
         self.tracer.bind_clock(lambda: self.sim.now)
         self.hosts: Dict[str, Host] = {}
+        #: Hosts in insertion order — O(1) positional access for
+        #: shard-indexed placement (serve) without sorting the name
+        #: table on every lookup.
+        self.host_list: List[Host] = []
         self._fabrics: Dict[str, Switch] = {}
         # Same adoption pattern for the ambient fault plan (``with
         # injecting(plan):`` — see repro.faults): a non-empty plan
@@ -91,6 +100,7 @@ class Cluster:
         )
         host.tracer = self.tracer
         self.hosts[name] = host
+        self.host_list.append(host)
         for fabric in self._fabrics.values():
             port = fabric.add_port(name)
             if self.faults is not None:
@@ -111,6 +121,19 @@ class Cluster:
             raise TopologyError(
                 f"no host {name!r} (have {sorted(self.hosts)})"
             ) from None
+
+    def host_at(self, index: int) -> Host:
+        """The *index*-th host in insertion order (O(1))."""
+        try:
+            return self.host_list[index]
+        except IndexError:
+            raise TopologyError(
+                f"host index {index} out of range (have {len(self.host_list)})"
+            ) from None
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.host_list)
 
     # -- fabrics ------------------------------------------------------------------
 
@@ -165,4 +188,35 @@ def paper_testbed(
     cluster.add_fabric("clan")
     cluster.add_fabric("ethernet")
     cluster.add_hosts("node", nodes, cores=2)
+    return cluster
+
+
+def serving_topology(
+    hosts: int = 256,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    cores: int = 2,
+) -> Cluster:
+    """A wide serving cluster: *hosts* nodes on a single cLAN fabric.
+
+    Designed for the 64–1024-host range of the ``serve`` scenario
+    (docs/SERVING.md).  Differences from :func:`paper_testbed`:
+
+    * only the cLAN fabric is built (no Fast Ethernet), halving the
+      per-host port count — TCP runs over cLAN's LAN-emulation path,
+      which is the configuration every figure measures anyway;
+    * host names are four-digit (``host0000`` ..), so lexicographic
+      and positional order agree all the way to 1024 hosts (the
+      two-digit ``{prefix}{i:02d}`` scheme of :meth:`Cluster.add_hosts`
+      stops zero-padding at 100).
+
+    Shard-indexed code should address hosts positionally via
+    :meth:`Cluster.host_at`, which is O(1) in cluster size.
+    """
+    if hosts < 2:
+        raise TopologyError("serving topology needs at least 2 hosts")
+    cluster = Cluster(seed=seed, tracer=tracer)
+    cluster.add_fabric("clan")
+    for i in range(hosts):
+        cluster.add_host(f"host{i:04d}", cores=cores)
     return cluster

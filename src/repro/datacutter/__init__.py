@@ -18,6 +18,7 @@ from repro.datacutter.group import FilterGroup, FilterSpec, Placement, StreamSpe
 from repro.datacutter.placement_opt import plan_placement, predict_host_loads
 from repro.datacutter.runtime import AppInstance, DataCutterRuntime, UnitOfWork
 from repro.datacutter.scheduling import (
+    AdmissionQueue,
     DemandDrivenScheduler,
     RoundRobinScheduler,
     WriteScheduler,
@@ -47,6 +48,7 @@ __all__ = [
     "RoundRobinScheduler",
     "DemandDrivenScheduler",
     "make_scheduler",
+    "AdmissionQueue",
     "InputPort",
     "OutputPort",
 ]

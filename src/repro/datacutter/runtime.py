@@ -42,6 +42,7 @@ from repro.datacutter.filters import Filter, FilterContext, maybe_generator
 from repro.datacutter.group import FilterGroup, Placement
 from repro.datacutter.scheduling import (
     DEFAULT_MAX_OUTSTANDING,
+    AdmissionQueue,
     WriteScheduler,
     make_scheduler,
 )
@@ -126,6 +127,9 @@ class AppInstance:
         self.started = False
         self._copies: Dict[Tuple[str, int], _Copy] = {}
         self._schedulers: Dict[Tuple[str, int, str], WriteScheduler] = {}
+        #: Named bounded ingress queues (open-loop admission control);
+        #: see :meth:`admission_queue`.
+        self.admission: Dict[str, AdmissionQueue] = {}
         self._build()
 
     # -- construction -----------------------------------------------------------------
@@ -184,6 +188,30 @@ class AppInstance:
             raise DataCutterError(
                 f"no scheduler for {producer!r}[{copy}] on {stream!r}"
             ) from None
+
+    def admission_queue(self, name: str, capacity: int) -> AdmissionQueue:
+        """Create and register a bounded ingress queue on this instance.
+
+        Admission control for open-loop workloads (repro.apps.serve):
+        an external arrival process ``offer()``\\ s items; a filter
+        drains them with ``yield from queue.get()`` and treats ``None``
+        as end-of-stream.  Offers beyond *capacity* are refused and
+        counted — see :class:`~repro.datacutter.scheduling.AdmissionQueue`.
+        Registered queues are aggregated by :meth:`admission_stats`.
+        """
+        if name in self.admission:
+            raise DataCutterError(
+                f"duplicate admission queue {name!r} on {self.group.name!r}"
+            )
+        queue = AdmissionQueue(
+            self.sim, capacity, name=f"{self.group.name}.{name}"
+        )
+        self.admission[name] = queue
+        return queue
+
+    def admission_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-queue ``{admitted, dropped, high_water, depth}`` counts."""
+        return {name: q.stats() for name, q in self.admission.items()}
 
     def record(self, metric: str, value: float) -> None:
         """Record a sample into an app-wide tally and time series."""

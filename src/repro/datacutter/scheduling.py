@@ -16,17 +16,36 @@ to.  DataCutter supports:
 Both schedulers bound outstanding (unacknowledged) buffers per consumer
 at ``max_outstanding`` (default 2: one in processing + one in flight —
 the classic double-buffering depth for pipelining).
+
+Every per-buffer decision here is O(1) in the number of consumer
+copies: liveness is a counter (not an ``all(dead)`` scan) and the
+demand-driven choice reads the lowest non-empty unacked bucket instead
+of scanning every copy.  That independence from fan-out is what lets
+the ``serve`` scenario (docs/SERVING.md) grow from 64 to 1024 hosts at
+flat per-event cost.
+
+:class:`AdmissionQueue` is the serving-side complement: a bounded
+drop-tail queue in front of a filter, so offered load beyond capacity
+is *refused and counted* instead of growing an unbounded backlog.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from bisect import bisect_left, insort
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional
 
 from repro.errors import DataCutterError
 from repro.sim import Event, Simulator
 from repro.sim.monitor import Tally
 
-__all__ = ["WriteScheduler", "RoundRobinScheduler", "DemandDrivenScheduler", "make_scheduler"]
+__all__ = [
+    "WriteScheduler",
+    "RoundRobinScheduler",
+    "DemandDrivenScheduler",
+    "make_scheduler",
+    "AdmissionQueue",
+]
 
 DEFAULT_MAX_OUTSTANDING = 2
 
@@ -68,6 +87,9 @@ class WriteScheduler:
         self.dead: List[bool] = [False] * n_consumers
         #: Buffers written off by mark_dead(drop_outstanding=True).
         self.lost_counts: List[int] = [0] * n_consumers
+        # Liveness as a counter so the all-dead check in acquire() is
+        # O(1) instead of an O(n_consumers) scan per buffer.
+        self._n_dead = 0
         self._waiters: List[Event] = []
 
     # -- acquisition -------------------------------------------------------------------
@@ -76,7 +98,7 @@ class WriteScheduler:
         """Block until the policy can place a buffer; returns the
         consumer index with its slot reserved."""
         while True:
-            if all(self.dead):
+            if self._n_dead == self.n_consumers:
                 raise DataCutterError(
                     "all consumer copies are dead; cannot place buffer"
                 )
@@ -85,6 +107,7 @@ class WriteScheduler:
                 self.unacked[idx] += 1
                 self.sent_counts[idx] += 1
                 self.last_send_at[idx] = self.sim.now
+                self._on_slots_changed(idx)
                 return idx
             waiter = Event(self.sim)
             self._waiters.append(waiter)
@@ -100,6 +123,7 @@ class WriteScheduler:
         self.acked_counts[idx] += 1
         self.last_ack_at[idx] = self.sim.now
         self.ack_delay[idx].record(self.sim.now - self.last_send_at[idx])
+        self._on_slots_changed(idx)
         self._wake()
 
     def _wake(self) -> None:
@@ -121,23 +145,37 @@ class WriteScheduler:
         """
         if not 0 <= idx < self.n_consumers:
             raise DataCutterError(f"mark_dead on unknown consumer {idx}")
-        self.dead[idx] = True
+        if not self.dead[idx]:
+            self.dead[idx] = True
+            self._n_dead += 1
         if drop_outstanding and self.unacked[idx]:
             self.lost_counts[idx] += self.unacked[idx]
             self.unacked[idx] = 0
+        self._on_slots_changed(idx)
         self._wake()
 
     def mark_alive(self, idx: int) -> None:
         """Copy *idx* is back (host restart): resume routing to it."""
         if not 0 <= idx < self.n_consumers:
             raise DataCutterError(f"mark_alive on unknown consumer {idx}")
-        self.dead[idx] = False
+        if self.dead[idx]:
+            self.dead[idx] = False
+            self._n_dead -= 1
+        self._on_slots_changed(idx)
         self._wake()
 
     # -- policy ---------------------------------------------------------------------------
 
     def _pick(self) -> Optional[int]:
         raise NotImplementedError
+
+    def _on_slots_changed(self, idx: int) -> None:
+        """Hook: copy *idx*'s eligibility or unacked count changed.
+
+        Called after every mutation of ``unacked``/``dead`` so policies
+        that keep an index over the slot state (DD's unacked buckets)
+        can maintain it incrementally instead of rescanning.
+        """
 
     def _has_room(self, idx: int) -> bool:
         return not self.dead[idx] and self.unacked[idx] < self.max_outstanding
@@ -168,27 +206,48 @@ class RoundRobinScheduler(WriteScheduler):
 
 
 class DemandDrivenScheduler(WriteScheduler):
-    """Min-unacknowledged-buffers choice (paper's DD mechanism)."""
+    """Min-unacknowledged-buffers choice (paper's DD mechanism).
+
+    The choice is indexed: eligible copies live in sorted per-count
+    buckets (``_buckets[c]`` = live copies with ``unacked == c`` and a
+    free slot), so picking the minimum-unacked copy is a bisect in the
+    lowest non-empty bucket — O(log n) per buffer instead of the
+    obvious O(n) scan — while reproducing the scan's decisions exactly:
+    the minimum unacked count wins, ties broken by the first copy at or
+    after ``_rotation`` in index order, wrapping.
+    """
 
     policy_name = "dd"
 
     def __init__(self, sim: Simulator, n_consumers: int, **kw) -> None:
         super().__init__(sim, n_consumers, **kw)
         self._rotation = 0  # tie-break fairness
+        # _buckets[c] is sorted; _where[i] is copy i's bucket, or None
+        # when it is ineligible (dead, or all slots in use).
+        self._buckets: List[List[int]] = [[] for _ in range(self.max_outstanding)]
+        self._buckets[0] = list(range(n_consumers))
+        self._where: List[Optional[int]] = [0] * n_consumers
+
+    def _on_slots_changed(self, idx: int) -> None:
+        new = self.unacked[idx] if self._has_room(idx) else None
+        old = self._where[idx]
+        if new == old:
+            return
+        if old is not None:
+            bucket = self._buckets[old]
+            del bucket[bisect_left(bucket, idx)]
+        if new is not None:
+            insort(self._buckets[new], idx)
+        self._where[idx] = new
 
     def _pick(self) -> Optional[int]:
-        best = None
-        best_count = None
-        for off in range(self.n_consumers):
-            idx = (self._rotation + off) % self.n_consumers
-            if not self._has_room(idx):
-                continue
-            if best_count is None or self.unacked[idx] < best_count:
-                best = idx
-                best_count = self.unacked[idx]
-        if best is not None:
-            self._rotation = (best + 1) % self.n_consumers
-        return best
+        for bucket in self._buckets:
+            if bucket:
+                pos = bisect_left(bucket, self._rotation)
+                idx = bucket[pos] if pos < len(bucket) else bucket[0]
+                self._rotation = (idx + 1) % self.n_consumers
+                return idx
+        return None
 
 
 _POLICIES = {
@@ -211,3 +270,95 @@ def make_scheduler(
             f"unknown scheduling policy {policy!r}; have {sorted(_POLICIES)}"
         ) from None
     return cls(sim, n_consumers, max_outstanding=max_outstanding)
+
+
+class AdmissionQueue:
+    """Bounded drop-tail queue in front of a filter (admission control).
+
+    The open-loop serving scenario (repro.apps.serve) offers arrivals
+    at a rate the pipeline does not control.  Unlike
+    :class:`repro.sim.resources.Store`, whose ``put`` always succeeds
+    and whose backlog can grow without bound, an admission queue has a
+    fixed *capacity*: :meth:`offer` either enqueues the item or refuses
+    it on the spot, and every refusal is **counted** in ``dropped`` —
+    overload shows up as a measured drop rate, never as silent loss or
+    an ever-growing heap.
+
+    Consumers run ``item = yield from queue.get()`` and treat ``None``
+    as end-of-stream: after :meth:`close`, queued items still drain in
+    FIFO order and only then does ``get`` return ``None``, so a closed
+    queue quiesces the simulation without losing admitted work.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "admission") -> None:
+        if capacity < 1:
+            raise DataCutterError("admission queue capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._waiters: List[Event] = []
+        self._closed = False
+        #: Items accepted by :meth:`offer`.
+        self.admitted = 0
+        #: Items refused by :meth:`offer` (queue full or closed).
+        self.dropped = 0
+        #: Maximum queue depth observed.
+        self.high_water = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def offer(self, item: Any) -> bool:
+        """Try to enqueue *item*; returns False (and counts a drop)
+        when the queue is full or closed.  Never blocks the caller —
+        that is what makes the generator open-loop."""
+        if self._closed or len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.admitted += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        self._wake()
+        return True
+
+    def get(self) -> Generator[Event, Any, Any]:
+        """Generator: next item in FIFO order, or ``None`` once the
+        queue is closed and drained."""
+        while True:
+            if self._items:
+                return self._items.popleft()
+            if self._closed:
+                return None
+            waiter = Event(self.sim)
+            self._waiters.append(waiter)
+            yield waiter
+
+    def close(self) -> None:
+        """No further admissions; wake consumers so they drain and
+        return.  Idempotent."""
+        self._closed = True
+        self._wake()
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            w.succeed()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "high_water": self.high_water,
+            "depth": len(self._items),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<AdmissionQueue {self.name!r} depth={len(self._items)}/"
+                f"{self.capacity} admitted={self.admitted} dropped={self.dropped}>")

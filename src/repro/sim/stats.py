@@ -9,7 +9,11 @@ users:
 * :func:`mser5` — the MSER-5 truncation heuristic for picking the
   warmup length automatically (White 1997);
 * :class:`Summary` — five-number roll-up of a finished series (the
-  benchmark harness uses it for per-layer trace accounting).
+  benchmark harness uses it for per-layer trace accounting);
+* :func:`percentile` — exact nearest-rank percentile of a finished
+  sample (the serving suite's p50/p99 SLO metrics; unlike
+  ``Histogram.percentile`` there is no binning error, so the values
+  are reproducible bit-for-bit).
 """
 
 from __future__ import annotations
@@ -21,7 +25,33 @@ from typing import List, Sequence, Tuple
 import numpy as np
 from scipy import stats as sp_stats
 
-__all__ = ["BatchMeans", "Summary", "trim_warmup", "mser5"]
+__all__ = ["BatchMeans", "Summary", "percentile", "trim_warmup", "mser5"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile: the smallest sample such that at
+    least ``q`` percent of the sample set is <= it.
+
+    No interpolation — the result is always an observed sample, which
+    is the standard SLO reading of "p99 latency" and keeps the value
+    deterministic under float round-off.
+
+    Examples
+    --------
+    >>> percentile([3.0, 1.0, 2.0, 4.0], 50)
+    2.0
+    >>> percentile([3.0, 1.0, 2.0, 4.0], 99)
+    4.0
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q={q!r} outside [0, 100]")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("percentile of an empty sample")
+    if q == 0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ import subprocess
 import pytest
 
 from repro.bench import cache as cache_mod
-from repro.bench import figures
+from repro.bench import figures, servebench
 from repro.bench.cache import ResultCache, code_fingerprint
 from repro.bench.executor import (
     SweepExecutor,
@@ -66,6 +66,16 @@ CASES = {
     # 2 MB keeps the run long enough for the worker01 restart to land.
     "c11": (figures.chaos11_crash_recovery, figures.chaos11_points,
             {"probabilities": [0.5], "total_bytes": 2 * 1024 * 1024}),
+    # serve panels: the open-loop schedule is drawn per point, so the
+    # same bit-identity contract covers workload generation too.  8
+    # hosts, not 4: with only two bursty tenants the MMPP sources can
+    # sit "off" for the whole window and serve no queries at all.
+    "serve": (servebench.serve_load_sweep, servebench.serve_points,
+              {"hosts": 8, "rates": [300.0], "bursty_rates": [600.0],
+               "horizon": 0.02}),
+    "serve_scale": (servebench.serve_scale_sweep,
+                    servebench.serve_scale_points,
+                    {"hosts_axis": [4, 8], "horizon": 0.02}),
 }
 
 

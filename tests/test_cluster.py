@@ -213,6 +213,31 @@ class TestCluster:
         with pytest.raises(TopologyError):
             Cluster().host("nope")
 
+    def test_serving_topology_shape(self):
+        from repro.cluster import serving_topology
+
+        cluster = serving_topology(hosts=8)
+        assert cluster.n_hosts == 8
+        assert cluster.fabric_names == ["clan"]
+        assert cluster.host_at(0).name == "host0000"
+        assert cluster.host_at(7).name == "host0007"
+        # Indexed lookup and the name map agree.
+        for i in range(8):
+            assert cluster.host_at(i) is cluster.host(f"host{i:04d}")
+
+    def test_serving_topology_needs_two_hosts(self):
+        from repro.cluster import serving_topology
+
+        with pytest.raises(TopologyError):
+            serving_topology(hosts=1)
+
+    def test_host_at_out_of_range(self):
+        from repro.cluster import serving_topology
+
+        cluster = serving_topology(hosts=4)
+        with pytest.raises(TopologyError):
+            cluster.host_at(4)
+
     def test_per_host_rngs_are_independent_and_stable(self):
         c1 = paper_testbed(seed=3)
         c2 = paper_testbed(seed=3)

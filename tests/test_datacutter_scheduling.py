@@ -1,0 +1,239 @@
+"""Write schedulers' indexed fast paths and the admission queue.
+
+Two things live here:
+
+* a randomized equivalence check that the demand-driven scheduler's
+  bucket index (``_buckets`` / ``_where`` maintained by
+  ``_on_slots_changed``) makes exactly the decisions of the obvious
+  linear scan it replaced, across sends, acks, and death/revival —
+  plus the structural invariants of the index itself;
+* the :class:`AdmissionQueue` contract: ``offer`` never blocks, every
+  refusal is a counted drop, and a closed queue drains FIFO before
+  quiescing its consumers with ``None``.
+"""
+
+import random
+
+import pytest
+
+from repro.datacutter.scheduling import (
+    AdmissionQueue,
+    DemandDrivenScheduler,
+    make_scheduler,
+)
+from repro.errors import DataCutterError
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+# ---------------------------------------------------------------------------
+# demand-driven bucket index vs the linear-scan reference
+# ---------------------------------------------------------------------------
+
+
+def reference_pick(sched):
+    """The O(n) scan the bucket index replaced: minimum unacked among
+    eligible copies, ties broken by the first copy at or after
+    ``_rotation`` in index order, wrapping."""
+    eligible = [i for i in range(sched.n_consumers) if sched._has_room(i)]
+    if not eligible:
+        return None
+    lowest = min(sched.unacked[i] for i in eligible)
+    tied = [i for i in eligible if sched.unacked[i] == lowest]
+    at_or_after = [i for i in tied if i >= sched._rotation]
+    return at_or_after[0] if at_or_after else tied[0]
+
+
+def assert_index_consistent(sched):
+    """The bucket index is exactly the eligibility map, no more."""
+    for idx in range(sched.n_consumers):
+        expected = sched.unacked[idx] if sched._has_room(idx) else None
+        assert sched._where[idx] == expected
+        if expected is not None:
+            assert idx in sched._buckets[expected]
+    members = [i for bucket in sched._buckets for i in bucket]
+    assert len(members) == len(set(members))
+    for bucket in sched._buckets:
+        assert bucket == sorted(bucket)
+
+
+class TestDemandDrivenIndexEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("n,depth", [(1, 1), (3, 2), (7, 4)])
+    def test_random_interleaving_matches_linear_scan(self, sim, seed, n,
+                                                     depth):
+        rng = random.Random(seed)
+        sched = DemandDrivenScheduler(sim, n, max_outstanding=depth)
+        outstanding = []
+        for _ in range(400):
+            op = rng.choice(["send", "send", "send", "ack", "ack",
+                             "dead", "alive"])
+            if op == "send":
+                expected = reference_pick(sched)
+                got = sched._pick()
+                assert got == expected
+                if got is not None:
+                    # Mirror acquire()'s slot accounting without the
+                    # event-loop wait (the pick is the part under test).
+                    sched.unacked[got] += 1
+                    sched.sent_counts[got] += 1
+                    sched._on_slots_changed(got)
+                    outstanding.append(got)
+            elif op == "ack" and outstanding:
+                sched.on_ack(outstanding.pop(rng.randrange(len(outstanding))))
+            elif op == "dead":
+                idx = rng.randrange(n)
+                if rng.random() < 0.5:
+                    outstanding = [i for i in outstanding if i != idx]
+                    sched.mark_dead(idx, drop_outstanding=True)
+                else:
+                    sched.mark_dead(idx)
+            elif op == "alive":
+                sched.mark_alive(rng.randrange(n))
+            assert_index_consistent(sched)
+
+    def test_rotation_spreads_ties(self, sim):
+        sched = DemandDrivenScheduler(sim, 3)
+        picks = []
+        for _ in range(3):
+            idx = sched._pick()
+            picks.append(idx)
+            sched.unacked[idx] += 1
+            sched._on_slots_changed(idx)
+        assert picks == [0, 1, 2]
+
+    def test_liveness_counter_idempotent(self, sim):
+        sched = make_scheduler("dd", sim, 2)
+        sched.mark_dead(0)
+        sched.mark_dead(0)
+        assert sched._n_dead == 1
+        sched.mark_alive(0)
+        sched.mark_alive(0)
+        assert sched._n_dead == 0
+
+    def test_all_dead_acquire_raises(self, sim):
+        sched = make_scheduler("dd", sim, 2)
+        sched.mark_dead(0)
+        sched.mark_dead(1)
+
+        def producer():
+            yield from sched.acquire()
+
+        proc = sim.process(producer())
+        with pytest.raises(DataCutterError, match="dead"):
+            sim.run(proc)
+
+
+# ---------------------------------------------------------------------------
+# admission queue
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionQueue:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(DataCutterError):
+            AdmissionQueue(sim, capacity=0)
+
+    def test_offer_beyond_capacity_counts_drops(self, sim):
+        queue = AdmissionQueue(sim, capacity=2)
+        assert [queue.offer(i) for i in range(5)] == [
+            True, True, False, False, False]
+        # Drops are counted, not lost silently: every offer is
+        # accounted as exactly one admission or one drop.
+        assert (queue.admitted, queue.dropped) == (2, 3)
+        assert queue.admitted + queue.dropped == 5
+        assert queue.depth == 2
+        assert queue.high_water == 2
+
+    def test_offer_after_close_is_a_counted_drop(self, sim):
+        queue = AdmissionQueue(sim, capacity=4)
+        queue.close()
+        assert not queue.offer("late")
+        assert queue.stats() == {"admitted": 0, "dropped": 1,
+                                 "high_water": 0, "depth": 0}
+
+    def test_close_drains_fifo_then_quiesces(self, sim):
+        queue = AdmissionQueue(sim, capacity=4)
+        for i in range(3):
+            queue.offer(i)
+        queue.close()
+        queue.close()  # idempotent
+        got = []
+
+        def consumer():
+            while True:
+                item = yield from queue.get()
+                if item is None:
+                    return "done"
+                got.append(item)
+
+        proc = sim.process(consumer())
+        # The run terminates on its own: a drained closed queue wakes
+        # its consumer with None instead of leaving it parked forever.
+        assert sim.run(proc) == "done"
+        assert got == [0, 1, 2]
+        assert queue.depth == 0
+
+    def test_blocked_consumer_wakes_on_offer(self, sim):
+        queue = AdmissionQueue(sim, capacity=4)
+        got = []
+
+        def consumer():
+            while True:
+                item = yield from queue.get()
+                if item is None:
+                    return
+                got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(1.0)
+            queue.offer("a")
+            yield sim.timeout(1.0)
+            queue.offer("b")
+            queue.close()
+
+        done = sim.process(consumer())
+        sim.process(producer())
+        sim.run(done)
+        assert got == [(1.0, "a"), (2.0, "b")]
+
+    def test_competing_consumers_each_item_delivered_once(self, sim):
+        queue = AdmissionQueue(sim, capacity=8)
+        got = []
+
+        def consumer(tag):
+            while True:
+                item = yield from queue.get()
+                if item is None:
+                    return
+                got.append(item)
+
+        procs = [sim.process(consumer(t)) for t in "ab"]
+
+        def producer():
+            for i in range(6):
+                yield sim.timeout(0.1)
+                queue.offer(i)
+            queue.close()
+
+        sim.process(producer())
+        sim.run(sim.all_of(procs))
+        assert sorted(got) == list(range(6))
+
+    def test_high_water_tracks_maximum_depth(self, sim):
+        queue = AdmissionQueue(sim, capacity=8)
+        queue.offer(1)
+        queue.offer(2)
+
+        def consumer():
+            item = yield from queue.get()
+            return item
+
+        sim.run(sim.process(consumer()))
+        queue.offer(3)
+        assert queue.depth == 2
+        assert queue.high_water == 2
