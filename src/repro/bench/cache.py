@@ -17,7 +17,8 @@ Key anatomy (SHA-256 over a canonical JSON document)::
       "params": {...},            # sort_keys canonical JSON kwargs
       "code": "<fingerprint>",    # hash over src/repro/**/*.py + git sha
       "faults": null,             # ambient FaultPlan fingerprint, or null
-      "mode": "packet"            # effective simulation mode
+      "mode": "packet",           # effective simulation mode
+      "cache_cfg": null           # ambient CacheConfig fingerprint, or null
     }
 
 The *faults* field is :func:`repro.faults.active_fingerprint` — ``None``
@@ -26,6 +27,15 @@ measured under an ambient fault plan can never be confused with
 fault-free ones (or with a different plan's).  Chaos points that carry
 their plan explicitly in ``params`` are already distinguished by it;
 this field covers ambient installation around a whole run.
+
+The *cache_cfg* field plays the same role for the WAN block-cache
+tier: it is :func:`repro.cache.active_cache_fingerprint` — ``None``
+unless the sweep runs inside ``with configured(cache_config):`` — so
+point results measured under different ambient cache temperatures,
+placements, or stripe widths can never alias.  The wancache panels
+carry their knobs explicitly in ``params``; this field covers ambient
+installation (``WanCacheConfig`` fills unset knobs from the ambient
+config, which would otherwise be invisible to the key).
 
 The *mode* field is :func:`repro.sim.flow.effective_sim_mode` — the
 simulation mode transfers actually run under (``"packet"`` or
@@ -153,6 +163,7 @@ class ResultCache:
 
     def key(self, figure: str, fn: str, params: Dict[str, Any]) -> str:
         """SHA-256 cache key for one point (see module docstring)."""
+        from repro.cache import active_cache_fingerprint
         from repro.faults import active_fingerprint
         from repro.sim.flow import effective_sim_mode
 
@@ -164,6 +175,7 @@ class ResultCache:
             "code": code_fingerprint(),
             "faults": active_fingerprint(),
             "mode": effective_sim_mode(),
+            "cache_cfg": active_cache_fingerprint(),
         }
         canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()

@@ -120,14 +120,16 @@ def execute_point(spec: Tuple) -> Dict[str, Any]:
 
     *spec* is ``(figure, fn, params)``, optionally extended with a
     fourth element — the ambient :class:`~repro.faults.FaultPlan` as a
-    dict (or None) — and a fifth: the simulation mode the point must
-    run under (see :func:`repro.sim.flow.simulation_mode`).  The
-    executor ships both when set, so pool workers — separate processes
-    that never saw the parent's ambient state — reinstall the same
-    plan and mode.
+    dict (or None) — a fifth: the simulation mode the point must run
+    under (see :func:`repro.sim.flow.simulation_mode`) — and a sixth:
+    the ambient :class:`~repro.cache.CacheConfig` as a dict (or None).
+    The executor ships them when set, so pool workers — separate
+    processes that never saw the parent's ambient state — reinstall
+    the same plan, mode, and cache configuration.
     """
     from repro.bench.figures import POINT_FNS
     from repro.bench.runner import TraceAggregator
+    from repro.cache import CacheConfig, configured
     from repro.faults import FaultPlan, injecting
     from repro.sim.core import global_events_processed
     from repro.sim.flow import simulation_mode
@@ -136,12 +138,15 @@ def execute_point(spec: Tuple) -> Dict[str, Any]:
     figure, fn, params = spec[:3]
     plan_dict = spec[3] if len(spec) > 3 else None
     mode = spec[4] if len(spec) > 4 else None
+    cfg_dict = spec[5] if len(spec) > 5 else None
     plan = None if plan_dict is None else FaultPlan.from_dict(plan_dict)
+    cache_cfg = None if cfg_dict is None else CacheConfig.from_dict(cfg_dict)
     agg = TraceAggregator()
     tracer = Tracer()
     tracer.subscribe("", agg)
     before = global_events_processed()
-    with simulation_mode(mode), injecting(plan), tracing(tracer, record=False):
+    with simulation_mode(mode), injecting(plan), configured(cache_cfg), \
+            tracing(tracer, record=False):
         value = POINT_FNS[fn](**params)
     return {
         "value": json.loads(json.dumps(value)),
@@ -235,6 +240,7 @@ class SweepExecutor:
                      f"{len(points) - len(pending)} cached, "
                      f"{len(pending)} to run (jobs={self.jobs})")
         if pending:
+            from repro.cache import active_cache_config
             from repro.faults import active_plan
             from repro.sim.flow import resolve_sim_mode
 
@@ -243,10 +249,12 @@ class SweepExecutor:
                          if ambient is not None and not ambient.is_empty
                          else None)
             mode = resolve_sim_mode()
-            if mode == "packet" and plan_dict is None:
+            cache_cfg = active_cache_config()
+            cfg_dict = None if cache_cfg is None else cache_cfg.to_dict()
+            if mode == "packet" and plan_dict is None and cfg_dict is None:
                 extra = ()  # default state: keep the legacy 3-tuple spec
             else:
-                extra = (plan_dict, mode)
+                extra = (plan_dict, mode, cfg_dict)
             specs = [(points[i].figure, points[i].fn, dict(points[i].params))
                      + extra
                      for i in pending]

@@ -1,0 +1,259 @@
+"""The ``wancache`` suite: block-cache tier + striped WAN transfers.
+
+Two panels (docs/CACHING.md):
+
+* ``wcq`` — query latency over the WAN preset at every cache
+  temperature (cold / warm / hot) x stripe width, TCP vs SocketVIA
+  side by side, with exact hit rates.  The cache is edge-placed (the
+  DPSS arrangement: the edge host is the WAN gateway, so misses are
+  striped-fetched storage -> edge and forwarded over the LAN while
+  hits skip the WAN entirely).  The headline claim gates the hot/cold
+  speedup at >= 3x for SocketVIA at stripe width 4.
+* ``wcb`` — bulk striped-read throughput vs stripe width on the
+  high-BDP link, no cache tier.  Each cell carries its order-sensitive
+  reassembly digest; the reassembly claim pins every cell's digest to
+  the width-1 (unstriped) digest — striping changes wall clock, never
+  bytes.
+
+Both panels decompose into cache-addressable points exactly like the
+figure sweeps, so ``bench run wancache --jobs N`` parallelizes per
+cell and reruns are cache hits.  Every metric is simulated (latency,
+MB/s of simulated time) or exact bookkeeping (hit rates, digests) —
+no wall-clock columns — so the comparator gates the whole record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.apps.wancache import (
+    WanBulkConfig,
+    WanCacheConfig,
+    run_wan_bulk,
+    run_wan_queries,
+)
+from repro.bench.executor import Point, PointPlan
+from repro.bench.records import ExperimentTable
+
+__all__ = [
+    "wcq_cell",
+    "wcb_cell",
+    "wcq_sweep",
+    "wcb_sweep",
+    "wcq_points",
+    "wcb_points",
+    "WANCACHE_TEMPERATURES",
+    "WANCACHE_WIDTHS",
+    "WANCACHE_BULK_WIDTHS",
+    "WANCACHE_SEED",
+]
+
+#: Cache temperatures of the query panel, coldest first.
+WANCACHE_TEMPERATURES = ("cold", "warm", "hot")
+#: Stripe widths of the query panel.
+WANCACHE_WIDTHS = (1, 4, 8)
+#: Stripe widths of the bulk panel.
+WANCACHE_BULK_WIDTHS = (1, 2, 4, 8)
+#: Query panel dataset: 64 x 64 KiB blocks, 6 x 8-block queries.
+WANCACHE_BLOCKS = 64
+WANCACHE_BLOCK_BYTES = 64 * 1024
+WANCACHE_BLOCKS_PER_QUERY = 8
+WANCACHE_QUERIES = 6
+#: Bulk panel dataset: 64 x 256 KiB blocks (16 MiB per transfer).
+WANCACHE_BULK_BLOCKS = 64
+WANCACHE_BULK_BLOCK_BYTES = 256 * 1024
+WANCACHE_SEED = 13
+
+_PROTOCOLS = ("socketvia", "tcp")
+
+_WCQ_NOTE = (
+    "edge-placed cache (DPSS arrangement): misses are striped-fetched "
+    "storage -> edge over the ~30 ms-RTT OC-12 WAN and forwarded over "
+    "the LAN; hits never touch the WAN — hit rates are exact counts "
+    "from the BlockCache, deterministic per cell"
+)
+_WCB_NOTE = (
+    "one striped read of the whole block space; digest is the "
+    "order-sensitive reassembly digest — equal digests mean the "
+    "reassembled sequence is bit-identical to the unstriped path"
+)
+
+
+def wcq_cell(protocol: str, temperature: str, stripe: int,
+             placement: str, n_blocks: int, block_bytes: int,
+             blocks_per_query: int, n_queries: int,
+             seed: int) -> List[float]:
+    """Point: one (protocol, temperature, stripe-width) query run.
+
+    Returns ``[mean_ms, p50_ms, hit_rate]``.
+    """
+    result = run_wan_queries(WanCacheConfig(
+        protocol=protocol,
+        temperature=temperature,
+        stripe_width=int(stripe),
+        placement=placement,
+        n_blocks=int(n_blocks),
+        block_bytes=int(block_bytes),
+        blocks_per_query=int(blocks_per_query),
+        n_queries=int(n_queries),
+        seed=int(seed),
+    ))
+    return [
+        float(result.mean_latency * 1e3),
+        float(result.p50_latency * 1e3),
+        float(result.hit_rate),
+    ]
+
+
+def wcb_cell(protocol: str, stripe: int, n_blocks: int,
+             block_bytes: int, seed: int) -> List[Any]:
+    """Point: one (protocol, stripe-width) bulk transfer.
+
+    Returns ``[mb_per_s, digest]`` — the digest rides along so the
+    reassembly claim can gate bit-identity from the cached record.
+    """
+    result = run_wan_bulk(WanBulkConfig(
+        protocol=protocol,
+        stripe_width=int(stripe),
+        n_blocks=int(n_blocks),
+        block_bytes=int(block_bytes),
+        seed=int(seed),
+    ))
+    return [float(result.mb_per_s), result.digest]
+
+
+def _wcq_table() -> ExperimentTable:
+    return ExperimentTable(
+        "wcq",
+        "WAN query latency vs cache temperature and stripe width",
+        ["temperature", "stripe",
+         "SocketVIA_mean_ms", "TCP_mean_ms",
+         "SocketVIA_p50_ms", "TCP_p50_ms",
+         "SocketVIA_hit_rate", "TCP_hit_rate"],
+    )
+
+
+def _wcb_table() -> ExperimentTable:
+    return ExperimentTable(
+        "wcb",
+        "Bulk striped-read throughput vs stripe width (high-BDP WAN)",
+        ["stripe",
+         "SocketVIA_MBps", "TCP_MBps",
+         "SocketVIA_digest", "TCP_digest"],
+    )
+
+
+def _wcq_axis(temperatures, widths):
+    return [(t, int(w)) for t in temperatures for w in widths]
+
+
+def _wcq_row(temp: str, width: int, sv: List[float],
+             tcp: List[float]) -> List[Any]:
+    return [temp, width, sv[0], tcp[0], sv[1], tcp[1], sv[2], tcp[2]]
+
+
+def wcq_sweep(
+    temperatures=WANCACHE_TEMPERATURES,
+    widths=WANCACHE_WIDTHS,
+    placement: str = "edge",
+    n_blocks: int = WANCACHE_BLOCKS,
+    block_bytes: int = WANCACHE_BLOCK_BYTES,
+    blocks_per_query: int = WANCACHE_BLOCKS_PER_QUERY,
+    n_queries: int = WANCACHE_QUERIES,
+    seed: int = WANCACHE_SEED,
+) -> ExperimentTable:
+    """The ``wcq`` panel, serial path."""
+    axis = _wcq_axis(temperatures, widths)
+    table = _wcq_table()
+    for temp, width in axis:
+        cells = {
+            proto: wcq_cell(proto, temp, width, placement, n_blocks,
+                            block_bytes, blocks_per_query, n_queries, seed)
+            for proto in _PROTOCOLS
+        }
+        table.add_row(*_wcq_row(temp, width,
+                                cells["socketvia"], cells["tcp"]))
+    table.add_note(_WCQ_NOTE)
+    return table
+
+
+def wcq_points(
+    temperatures=WANCACHE_TEMPERATURES,
+    widths=WANCACHE_WIDTHS,
+    placement: str = "edge",
+    n_blocks: int = WANCACHE_BLOCKS,
+    block_bytes: int = WANCACHE_BLOCK_BYTES,
+    blocks_per_query: int = WANCACHE_BLOCKS_PER_QUERY,
+    n_queries: int = WANCACHE_QUERIES,
+    seed: int = WANCACHE_SEED,
+) -> PointPlan:
+    """``wcq`` as one point per (temperature, stripe, protocol)."""
+    axis = _wcq_axis(temperatures, widths)
+    points = [
+        Point("wcq", "wcq_cell",
+              {"protocol": proto, "temperature": temp, "stripe": width,
+               "placement": placement, "n_blocks": int(n_blocks),
+               "block_bytes": int(block_bytes),
+               "blocks_per_query": int(blocks_per_query),
+               "n_queries": int(n_queries), "seed": int(seed)})
+        for temp, width in axis
+        for proto in _PROTOCOLS
+    ]
+
+    def merge(values: List[Any]) -> ExperimentTable:
+        table = _wcq_table()
+        for i, (temp, width) in enumerate(axis):
+            sv, tcp = values[2 * i], values[2 * i + 1]
+            table.add_row(*_wcq_row(temp, width, sv, tcp))
+        table.add_note(_WCQ_NOTE)
+        return table
+
+    return PointPlan("wcq", points, merge)
+
+
+def wcb_sweep(
+    widths=WANCACHE_BULK_WIDTHS,
+    n_blocks: int = WANCACHE_BULK_BLOCKS,
+    block_bytes: int = WANCACHE_BULK_BLOCK_BYTES,
+    seed: int = WANCACHE_SEED,
+) -> ExperimentTable:
+    """The ``wcb`` panel, serial path."""
+    widths = [int(w) for w in widths]
+    table = _wcb_table()
+    for width in widths:
+        cells = {
+            proto: wcb_cell(proto, width, n_blocks, block_bytes, seed)
+            for proto in _PROTOCOLS
+        }
+        table.add_row(width, cells["socketvia"][0], cells["tcp"][0],
+                      cells["socketvia"][1], cells["tcp"][1])
+    table.add_note(_WCB_NOTE)
+    return table
+
+
+def wcb_points(
+    widths=WANCACHE_BULK_WIDTHS,
+    n_blocks: int = WANCACHE_BULK_BLOCKS,
+    block_bytes: int = WANCACHE_BULK_BLOCK_BYTES,
+    seed: int = WANCACHE_SEED,
+) -> PointPlan:
+    """``wcb`` as one point per (stripe, protocol)."""
+    widths = [int(w) for w in widths]
+    points = [
+        Point("wcb", "wcb_cell",
+              {"protocol": proto, "stripe": width,
+               "n_blocks": int(n_blocks),
+               "block_bytes": int(block_bytes), "seed": int(seed)})
+        for width in widths
+        for proto in _PROTOCOLS
+    ]
+
+    def merge(values: List[Any]) -> ExperimentTable:
+        table = _wcb_table()
+        for i, width in enumerate(widths):
+            sv, tcp = values[2 * i], values[2 * i + 1]
+            table.add_row(width, sv[0], tcp[0], sv[1], tcp[1])
+        table.add_note(_WCB_NOTE)
+        return table
+
+    return PointPlan("wcb", points, merge)

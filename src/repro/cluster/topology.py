@@ -30,7 +30,15 @@ from repro.cluster.hetero import SlowdownModel
 from repro.cluster.host import Host
 from repro.cluster.link import Port, Switch
 
-__all__ = ["Cluster", "paper_testbed", "serving_topology"]
+__all__ = [
+    "Cluster",
+    "paper_testbed",
+    "serving_topology",
+    "wan_topology",
+    "wan_model",
+    "WAN_ONE_WAY_S",
+    "WAN_RATE_BPS",
+]
 
 
 def _active_fault_plan():
@@ -219,4 +227,70 @@ def serving_topology(
     cluster.add_fabric("clan")
     for i in range(hosts):
         cluster.add_host(f"host{i:04d}", cores=cores)
+    return cluster
+
+
+# -- WAN presets (docs/CACHING.md) -------------------------------------------------
+
+#: One-way WAN propagation (seconds): 15 ms, i.e. a 30 ms RTT — the
+#: coast-to-coast class of link the LBNL visualization work measured.
+WAN_ONE_WAY_S = 0.015
+
+#: WAN line rate: OC-12 (622 Mbit/s), the era's wide-area backbone.
+WAN_RATE_BPS = 622_000_000.0
+
+
+def wan_model(base):
+    """A protocol cost model re-rated for the OC-12 WAN.
+
+    Only the per-byte wire gap changes (OC-12 pacing instead of the
+    LAN's); propagation stays in the *fabric* —
+    :func:`wan_topology` builds the ``"wan"`` switch with
+    ``propagation=WAN_ONE_WAY_S``, so hosts keep one cost model per
+    stack while the long haul lives in the topology, composed onto
+    every traversal.  Because protocol stacks are cached per
+    ``(protocol, fabric)`` on each host, a WAN-model stack must be
+    created with ``fabric="wan"`` (see :func:`repro.apps.wancache`'s
+    assembly) — it then never collides with the same protocol's LAN
+    stack.
+    """
+    return base.with_updates(g_wire=8.0 / WAN_RATE_BPS)
+
+
+def wan_topology(
+    storage_hosts: int = 4,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    cores: int = 2,
+) -> Cluster:
+    """A two-site WAN topology for the block-cache scenario.
+
+    Hosts and fabrics:
+
+    * ``client00`` — the frontend host (runs the DataCutter filters);
+    * ``edge00`` — a cache host on the frontend's LAN (DPSS-style);
+    * ``store00`` .. — *storage_hosts* storage nodes;
+    * fabric ``"clan"`` — the LAN (zero added propagation, LAN rates);
+    * fabric ``"wan"`` — the high bandwidth-delay-product long haul:
+      every traversal pays :data:`WAN_ONE_WAY_S` switch propagation on
+      top of the cost model's own wire time, so the RTT is ~30 ms.
+      Pair it with :func:`wan_model` for OC-12 per-byte pacing.
+
+    Every host gets ports on both fabrics (the physical picture:
+    dual-homed gateways); the *scenario* decides which legs ride which
+    fabric — frontend↔edge on the LAN, frontend↔storage on the WAN.
+    A single-stream transfer's in-flight bytes are capped by its
+    window/credits at a fraction of the WAN's bandwidth-delay product
+    (~2.3 MB), which is exactly why striped reads
+    (:class:`repro.transport.striped.StripedStream`) pay off here and
+    not on the LAN.
+    """
+    if storage_hosts < 1:
+        raise TopologyError("wan topology needs at least 1 storage host")
+    cluster = Cluster(seed=seed, tracer=tracer)
+    cluster.add_fabric("clan")
+    cluster.add_fabric("wan", propagation=WAN_ONE_WAY_S)
+    cluster.add_host("client00", cores=cores)
+    cluster.add_host("edge00", cores=cores)
+    cluster.add_hosts("store", storage_hosts, cores=cores)
     return cluster

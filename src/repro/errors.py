@@ -103,6 +103,11 @@ class RetryExhausted(NetworkError):
         self.backoff = tuple(backoff)
 
 
+class StripedTransferError(NetworkError):
+    """Every stripe of a :class:`repro.transport.striped.StripedStream`
+    failed, so the logical read cannot complete."""
+
+
 class ViaError(ProtocolError):
     """VIA-provider specific failure (bad descriptor, unregistered memory)."""
 

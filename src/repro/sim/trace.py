@@ -52,6 +52,7 @@ TRACE_LAYERS = {
     "datacutter.": "datacutter",
     "cluster.": "cluster",
     "faults.": "faults",
+    "cache.": "cache",
 }
 
 

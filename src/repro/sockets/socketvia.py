@@ -261,14 +261,25 @@ class SocketViaSocket(BaseSocket):
             self._send_mutex.release(mutex)
 
     def _fluid_eligible(self, size: int) -> bool:
-        """Gate for the credit-steady fluid phase: at least four
-        fragments, every credit home and every pool buffer reaped
-        (nothing in flight on this connection), the host CPU idle,
-        fluid mode in effect, and the wire path quiet and fault-free.
-        Anything else takes the per-fragment packet path."""
+        """Gate for the credit-steady fluid phase: a message that
+        consumes the whole credit window by itself, every credit home
+        and every pool buffer reaped (nothing in flight on this
+        connection), the host CPU idle, fluid mode in effect, and the
+        wire path quiet and fault-free.  Anything else takes the
+        per-fragment packet path.
+
+        The window-consuming floor (``size >= credits * mtu``) mirrors
+        the TCP gate: it is what makes the whole-window credit claim
+        in :meth:`_send_fluid` cost-free, because a window-sized
+        message exhausts its credits and stalls on their return in
+        packet mode too.  Sub-window messages pipeline inside the
+        credit window on the packet path; claiming every credit for
+        one of them would serialize its successors behind a
+        delivery-plus-credit-return round trip — invisible on a LAN,
+        a full RTT per message on a high-propagation (WAN) fabric."""
         stack: SocketViaStack = self.stack
         return (
-            size > 3 * stack.model.mtu
+            size >= stack.credits * stack.model.mtu
             and self.vi is not None
             and self._credits.level == stack.credits
             and self._send_pool.size == stack.credits

@@ -128,14 +128,25 @@ class TcpSocket(EndpointSocket):
 
     def _fluid_eligible(self, size: int) -> bool:
         """Gate for the fluid bulk phase: only a steady-window transfer
-        with quiet edges qualifies — at least four transfer units, the
-        full window available (nothing from this socket in flight), the
-        sender's kernel path idle, fluid mode in effect, and the wire
-        path quiet and fault-free.  Everything else falls back to the
-        per-unit packet path, so fidelity is never silently lost."""
+        with quiet edges qualifies — a message that consumes the whole
+        window by itself, the full window available (nothing from this
+        socket in flight), the sender's kernel path idle, fluid mode in
+        effect, and the wire path quiet and fault-free.  Everything
+        else falls back to the per-unit packet path, so fidelity is
+        never silently lost.
+
+        The window-consuming floor (``size >= window``) is what makes
+        the full-window claim in :meth:`_send_fluid` cost-free: a
+        window-sized message stalls on window returns in packet mode
+        too.  A *sub*-window message sequence, by contrast, pipelines
+        inside the window on the packet path — claiming the whole
+        window for one such message would serialize its successors
+        behind a delivery-plus-ack round trip, a distortion invisible
+        on a LAN but a full RTT per message on a high-propagation
+        (WAN) fabric."""
         stack: TcpStack = self.stack
         return (
-            size > 3 * stack.max_unit
+            size >= stack.window
             and stack.window >= 4 * stack.max_unit
             and self._window.level == stack.window
             and stack.kernel.count == 0
@@ -154,7 +165,7 @@ class TcpSocket(EndpointSocket):
         via ``DataUnit.rx_cost``.  On an otherwise-idle path this
         reproduces the packet-mode message delivery time exactly
         (window refresh is never the bottleneck under the gate's
-        four-unit window floor).  The receive work the solve overlapped
+        window-consuming floor).  The receive work the solve overlapped
         with the wire still occupies the peer's kernel path via
         :meth:`StackBase._fluid_charge_peer`, so concurrent work on the
         receiving host contends realistically; the remaining

@@ -24,6 +24,12 @@ from repro.transport.registry import (
     transport_names,
     unregister_transport,
 )
+from repro.transport.striped import (
+    StripedStream,
+    block_token,
+    reassembly_digest,
+    stripe_server,
+)
 
 __all__ = [
     "CTRL_BYTES",
@@ -39,4 +45,8 @@ __all__ = [
     "get_transport",
     "transport_names",
     "temporary_transport",
+    "StripedStream",
+    "block_token",
+    "reassembly_digest",
+    "stripe_server",
 ]

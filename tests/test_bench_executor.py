@@ -18,7 +18,7 @@ import subprocess
 import pytest
 
 from repro.bench import cache as cache_mod
-from repro.bench import figures, servebench
+from repro.bench import figures, servebench, wancachebench
 from repro.bench.cache import ResultCache, code_fingerprint
 from repro.bench.executor import (
     SweepExecutor,
@@ -76,6 +76,15 @@ CASES = {
     "serve_scale": (servebench.serve_scale_sweep,
                     servebench.serve_scale_points,
                     {"hosts_axis": [4, 8], "horizon": 0.02}),
+    # wancache panels: the cache temperature and stripe width ride in
+    # the point params, so warm-cache hits and multi-stream reassembly
+    # fall under the same bit-identity contract.
+    "wcq": (wancachebench.wcq_sweep, wancachebench.wcq_points,
+            {"temperatures": ["cold", "hot"], "widths": [1, 2],
+             "n_blocks": 16, "blocks_per_query": 4, "n_queries": 2}),
+    "wcb": (wancachebench.wcb_sweep, wancachebench.wcb_points,
+            {"widths": [1, 2], "n_blocks": 12,
+             "block_bytes": 64 * 1024}),
 }
 
 
@@ -215,6 +224,24 @@ class TestCacheKeys:
         assert cache.key("4a", "fig4b_size", {"size": 4}) != base
         assert cache.key("4b", "fig4a_size", {"size": 4}) != base
         assert cache.key("4a", "fig4a_size", {"size": 4}) == base
+
+    def test_key_sensitive_to_ambient_cache_config(self, tmp_path):
+        # Sweeps run under different ambient CacheConfigs must not
+        # collide in the result cache: the config fingerprint is part
+        # of the key, exactly like the fault-plan fingerprint.
+        from repro.cache import CacheConfig, configured
+
+        cache = ResultCache(str(tmp_path))
+        base = cache.key("wcq", "wcq_cell", {"stripe": 1})
+        with configured(CacheConfig(stripe_width=4)):
+            wide = cache.key("wcq", "wcq_cell", {"stripe": 1})
+        with configured(CacheConfig(placement="client")):
+            client = cache.key("wcq", "wcq_cell", {"stripe": 1})
+        assert wide != base
+        assert client != base
+        assert client != wide
+        # ... and leaving the context restores the unconfigured key.
+        assert cache.key("wcq", "wcq_cell", {"stripe": 1}) == base
 
     def test_key_sensitive_to_code_fingerprint(self, tmp_path, monkeypatch):
         cache = ResultCache(str(tmp_path))

@@ -224,6 +224,37 @@ class TestAdmissionQueue:
         sim.run(sim.all_of(procs))
         assert sorted(got) == list(range(6))
 
+    def test_close_with_queued_work_referencing_cached_blocks(self, sim):
+        # A query frontend may close its admission queue while queued
+        # work still references blocks resident in a BlockCache (the
+        # wancache scenario's shutdown path).  The drain contract must
+        # hold: every queued item is served FIFO, each consults the
+        # cache exactly once, and the cache's accounting ends exact —
+        # close() must not drop work or double-serve a block.
+        from repro.cache import BlockCache
+        from repro.cluster.host import Host
+
+        cache = BlockCache(Host(sim, "h0"))
+        cache.warm([0, 2])
+        queue = AdmissionQueue(sim, capacity=8)
+        for block_id in (0, 1, 2, 3):
+            queue.offer(block_id)
+        queue.close()
+        served = []
+
+        def consumer():
+            while True:
+                item = yield from queue.get()
+                if item is None:
+                    return "drained"
+                served.append((item, cache.get(item)))
+
+        assert sim.run(sim.process(consumer())) == "drained"
+        assert served == [(0, True), (1, False), (2, True), (3, False)]
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert queue.stats() == {"admitted": 4, "dropped": 0,
+                                 "high_water": 4, "depth": 0}
+
     def test_high_water_tracks_maximum_depth(self, sim):
         queue = AdmissionQueue(sim, capacity=8)
         queue.offer(1)
