@@ -21,14 +21,23 @@ asserts to ±10%.
 Admission control
 -----------------
 Arrivals come from a pre-drawn :class:`~repro.apps.workload.OpenLoopSchedule`
-(see that module for the open-loop and determinism guarantees).  A
-single dispatcher process replays the schedule, routing each arrival to
-its shard's bounded :class:`~repro.datacutter.scheduling.AdmissionQueue`
-via ``offer()``: a full queue refuses the query and the refusal is
-*counted* as a drop — the overload signal the suite reports — never
-blocking the arrival clock.  After the last arrival the dispatcher
-closes every queue; admitted items drain, filters see end-of-stream,
-and the simulation quiesces with ``offered == completed + dropped``.
+(see that module for the open-loop and determinism guarantees).  Each
+shard runs its *own* dispatcher process replaying only that shard's
+slice of the schedule, routing each arrival to the shard's bounded
+:class:`~repro.datacutter.scheduling.AdmissionQueue` via ``offer()``: a
+full queue refuses the query and the refusal is *counted* as a drop —
+the overload signal the suite reports — never blocking the arrival
+clock.  After its last arrival each dispatcher closes its queue;
+admitted items drain, filters see end-of-stream, and the simulation
+quiesces with ``offered == completed + dropped``.
+
+Per-shard everything is a *determinism* decision, not just tidiness:
+a shard's float timeline (dispatch wake-ups, per-query latencies) is
+computed only from that shard's own events, so running a shard alone
+in a sub-cluster reproduces it bit-for-bit.  That is the property
+:mod:`repro.sim.partition` uses to fan one serving run across worker
+processes with a digest-identical merged result
+(:meth:`ServeResult.digest`).
 
 Metrics
 -------
@@ -40,8 +49,9 @@ throughput, and drop rate.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.apps.dataset import ImageDataset
 from repro.apps.workload import (
@@ -139,14 +149,20 @@ class ServeConfig:
 
 @dataclass
 class _ServeState:
-    """Objects the dispatcher and every shard's filters share."""
+    """Objects the dispatchers and every shard's filters share.
+
+    ``queues`` and ``latencies`` are indexed by *local* shard position
+    (0-based within this app, whatever global shard span it covers).
+    Latencies are recorded per shard so the merged view is a
+    concatenation in shard order — the same order a partitioned run
+    produces — rather than global completion order, which would differ
+    between the two.
+    """
 
     config: ServeConfig
     bytes_for: Dict[str, int]
     queues: List[AdmissionQueue] = field(default_factory=list)
-    latencies: Dict[str, List[float]] = field(
-        default_factory=lambda: {kind: [] for kind in QUERY_KINDS}
-    )
+    latencies: List[Dict[str, List[float]]] = field(default_factory=list)
     dispatch_dropped: int = 0
 
 
@@ -183,16 +199,18 @@ class _RepositoryFilter(Filter):
 class _FrontendFilter(Filter):
     """Receives responses; records admission-to-assembly latency."""
 
-    def __init__(self, state: _ServeState) -> None:
+    def __init__(self, state: _ServeState, shard: int) -> None:
         self.state = state
+        self.shard = shard
 
     def process(self, ctx):
+        latencies = self.state.latencies[self.shard]
         while True:
             buf = yield from ctx.read()
             if buf is None:
                 return
             latency = ctx.sim.now - buf.meta["submitted"]
-            self.state.latencies[buf.meta["kind"]].append(latency)
+            latencies[buf.meta["kind"]].append(latency)
 
 
 @dataclass
@@ -257,24 +275,117 @@ class ServeResult:
     def p99(self) -> float:
         return self.latency_p(99)
 
+    def digest(self) -> str:
+        """SHA-256 over every simulation-determined output, bit-exact.
+
+        Floats enter as ``float.hex()`` so ULP-level divergence is
+        caught.  The kernel ``events`` count is deliberately excluded:
+        it depends on how the run was orchestrated (one dispatcher
+        chain per shard vs a merged run has different bookkeeping
+        events), not on what the simulation computed.  A partitioned
+        run (:mod:`repro.sim.partition`) must produce the same digest
+        as the single-process run.
+        """
+        h = hashlib.sha256()
+        cfg = self.config
+        h.update(
+            (
+                f"{cfg.protocol}|{cfg.hosts}|{cfg.rate_per_shard!r}|"
+                f"{cfg.horizon!r}|{cfg.queue_capacity}|{cfg.arrival}|"
+                f"{cfg.tenants}|{cfg.seed}\n"
+            ).encode()
+        )
+        h.update(
+            f"{self.offered},{self.admitted},{self.dropped},"
+            f"{self.completed},{self.high_water}\n".encode()
+        )
+        h.update(self.elapsed.hex().encode())
+        for kind in QUERY_KINDS:
+            h.update(f"\n{kind}:".encode())
+            for value in self.latencies[kind]:
+                h.update(value.hex().encode())
+                h.update(b";")
+        return h.hexdigest()
+
+    @classmethod
+    def merged(cls, config: ServeConfig,
+               parts: List["ServeResult"]) -> "ServeResult":
+        """Combine per-shard-span results into the whole-cluster result.
+
+        *parts* must be in ascending shard order; latencies concatenate
+        per kind in that order (matching the single-process recording
+        order), counters sum, and ``elapsed``/``high_water`` take the
+        max — elapsed is already "slowest shard" within each part.
+        """
+        if not parts:
+            raise ExperimentError("nothing to merge")
+        return cls(
+            config=config,
+            offered=sum(p.offered for p in parts),
+            admitted=sum(p.admitted for p in parts),
+            dropped=sum(p.dropped for p in parts),
+            completed=sum(p.completed for p in parts),
+            elapsed=max(p.elapsed for p in parts),
+            latencies={
+                kind: [v for p in parts for v in p.latencies[kind]]
+                for kind in QUERY_KINDS
+            },
+            events=sum(p.events for p in parts),
+            high_water=max(p.high_water for p in parts),
+        )
+
 
 class ServeApp:
-    """Builds the sharded pipelines and replays an open-loop schedule."""
+    """Builds the sharded pipelines and replays an open-loop schedule.
 
-    def __init__(self, cluster: Cluster, config: ServeConfig) -> None:
-        n_shards = cluster.n_hosts // 2
-        if n_shards < 1:
+    Parameters
+    ----------
+    cluster:
+        The hosts to build on.  For a whole-cluster run this is
+        ``serving_topology(config.hosts)``; for a partitioned run it is
+        the sub-cluster covering exactly ``shard_range``
+        (``serving_topology(2 * span, first_host=2 * lo)``).
+    config:
+        The *global* run configuration — ``config.n_shards`` is the
+        whole cluster's shard count and drives tenant routing even when
+        this app only hosts a span of it.
+    shard_range:
+        Global ``(lo, hi)`` shard span this app owns.  Defaults to all
+        of them.  Hosts are addressed positionally, so the cluster must
+        contain exactly the span's hosts when a proper sub-range is
+        given.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: ServeConfig,
+        shard_range: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        lo, hi = shard_range if shard_range is not None else (0, config.n_shards)
+        if not 0 <= lo < hi <= config.n_shards:
             raise ExperimentError(
-                f"serve needs >= 2 hosts, cluster has {cluster.n_hosts}"
+                f"shard_range {lo, hi} outside [0, {config.n_shards})"
             )
-        if config.hosts > cluster.n_hosts:
+        span = hi - lo
+        if cluster.n_hosts < 2 * span:
             raise ExperimentError(
-                f"config wants {config.hosts} hosts, cluster has "
+                f"shards [{lo}, {hi}) need {2 * span} hosts, cluster has "
                 f"{cluster.n_hosts}"
+            )
+        expect_first = f"host{2 * lo:04d}"
+        if cluster.host_at(0).name != expect_first:
+            raise ExperimentError(
+                f"cluster starts at {cluster.host_at(0).name!r}, but shard "
+                f"span [{lo}, {hi}) must start at {expect_first!r} for "
+                "bit-identical partitioning"
             )
         self.cluster = cluster
         self.config = config
-        self.n_shards = n_shards
+        self.shard_lo = lo
+        self.shard_hi = hi
+        #: Global shard count (routing modulus), not the local span.
+        self.n_shards = config.n_shards
         self.state = _ServeState(
             config=config,
             bytes_for={
@@ -288,73 +399,104 @@ class ServeApp:
             max_outstanding=config.max_outstanding,
         )
         self.instances = []
-        for shard in range(n_shards):
+        for local, shard in enumerate(range(lo, hi)):
+            # Filter-group names stay global so a sub-cluster run is
+            # event-for-event the run the full cluster gives this span.
             group = FilterGroup(f"serve{shard:04d}", default_policy=config.policy)
             group.add_filter(
-                "repo", lambda s=shard: _RepositoryFilter(self.state, s)
+                "repo", lambda s=local: _RepositoryFilter(self.state, s)
             )
-            group.add_filter("front", lambda: _FrontendFilter(self.state))
+            group.add_filter(
+                "front", lambda s=local: _FrontendFilter(self.state, s)
+            )
             group.connect("responses", "repo", "front")
-            # Shard s lives on hosts 2s / 2s+1 — positional, O(1).
+            # Global shard s lives on hosts 2s / 2s+1; positionally the
+            # sub-cluster starts at host 2*lo — O(1) either way.
             placement = group.place({
-                "repo": [cluster.host_at(2 * shard).name],
-                "front": [cluster.host_at(2 * shard + 1).name],
+                "repo": [cluster.host_at(2 * local).name],
+                "front": [cluster.host_at(2 * local + 1).name],
             })
             instance = self.runtime.instantiate(group, placement)
             self.state.queues.append(
                 instance.admission_queue("ingress", config.queue_capacity)
             )
+            self.state.latencies.append({kind: [] for kind in QUERY_KINDS})
             self.instances.append(instance)
 
     # -- dispatch -------------------------------------------------------------------
 
-    def _dispatch(self, schedule: OpenLoopSchedule):
-        """Replay the pre-drawn schedule against the shard queues."""
+    def shard_arrivals(self, schedule: OpenLoopSchedule) -> List[list]:
+        """Split the schedule into this app's per-shard arrival slices.
+
+        Tenant -> global shard is ``tenant_index % n_shards`` (O(1),
+        independent of cluster width); a slice keeps schedule order,
+        which is time order.
+        """
+        slices: List[list] = [[] for _ in range(self.shard_hi - self.shard_lo)]
+        lo, hi, n = self.shard_lo, self.shard_hi, self.n_shards
+        for arrival in schedule.arrivals:
+            shard = arrival.tenant_index % n
+            if lo <= shard < hi:
+                slices[shard - lo].append(arrival)
+        return slices
+
+    def _dispatch_shard(self, local: int, arrivals: list):
+        """Replay one shard's arrival slice against its queue.
+
+        The wake-up chain (``due - sim.now`` timeouts) is computed only
+        from this shard's own arrivals and start time, so its float
+        timeline is independent of every other shard — the invariant
+        that keeps partitioned runs digest-identical.
+        """
         sim = self.cluster.sim
         state = self.state
-        # Tenant -> shard is a precomputed indexed map, so routing one
-        # arrival is O(1) regardless of cluster width.
-        shard_of = [i % self.n_shards for i in range(len(schedule.tenants))]
+        queue = state.queues[local]
         start = sim.now
-        for arrival in schedule.arrivals:
+        for arrival in arrivals:
             due = start + arrival.at
             if due > sim.now:
                 yield sim.timeout(due - sim.now)
-            queue = state.queues[shard_of[arrival.tenant_index]]
             if not queue.offer((arrival, sim.now)):
                 state.dispatch_dropped += 1
-        for queue in state.queues:
-            queue.close()
+        queue.close()
 
     # -- run -------------------------------------------------------------------------
 
     def run(self, schedule: OpenLoopSchedule) -> ServeResult:
         """Execute the schedule; owns the whole simulation run."""
         sim = self.cluster.sim
-        measured: Dict[str, float] = {}
+        slices = self.shard_arrivals(schedule)
+        elapsed: List[float] = [0.0] * len(self.instances)
         events_before = global_events_processed()
 
-        def main():
-            starts = [
-                sim.process(inst.start(), name=f"{inst.group.name}.start")
-                for inst in self.instances
-            ]
-            yield sim.all_of(starts)
+        def shard_main(local, inst, arrivals):
+            # Each shard clocks from its *own* start completion: shard
+            # timelines never reference a cross-shard barrier, so a
+            # sub-cluster run reproduces them exactly.
+            yield sim.process(inst.start(), name=f"{inst.group.name}.start")
             t0 = sim.now
-            sim.process(self._dispatch(schedule), name="serve.dispatch")
-            uows = [
-                sim.process(inst.run_uow(payload=None),
-                            name=f"{inst.group.name}.uow")
-                for inst in self.instances
+            sim.process(
+                self._dispatch_shard(local, arrivals),
+                name=f"{inst.group.name}.dispatch",
+            )
+            yield sim.process(inst.run_uow(payload=None),
+                              name=f"{inst.group.name}.uow")
+            elapsed[local] = sim.now - t0
+
+        def main():
+            shards = [
+                sim.process(shard_main(local, inst, slices[local]),
+                            name=f"{inst.group.name}.shard")
+                for local, inst in enumerate(self.instances)
             ]
-            yield sim.all_of(uows)
-            measured["elapsed"] = sim.now - t0
+            yield sim.all_of(shards)
             for inst in self.instances:
                 yield from inst.finalize()
 
         done = sim.process(main(), name="serve.main")
         sim.run(done)
 
+        offered = sum(len(s) for s in slices)
         admitted = sum(q.admitted for q in self.state.queues)
         dropped = sum(q.dropped for q in self.state.queues)
         if dropped != self.state.dispatch_dropped:
@@ -362,7 +504,9 @@ class ServeApp:
                 f"drop accounting mismatch: queues counted {dropped}, "
                 f"dispatcher saw {self.state.dispatch_dropped}"
             )
-        completed = sum(len(v) for v in self.state.latencies.values())
+        completed = sum(
+            len(v) for shard in self.state.latencies for v in shard.values()
+        )
         if completed != admitted:
             raise ExperimentError(
                 f"admitted {admitted} queries but completed {completed} "
@@ -370,12 +514,19 @@ class ServeApp:
             )
         return ServeResult(
             config=self.config,
-            offered=len(schedule),
+            offered=offered,
             admitted=admitted,
             dropped=dropped,
             completed=completed,
-            elapsed=measured["elapsed"],
-            latencies=self.state.latencies,
+            # "Slowest shard" — invariant under partitioning, unlike a
+            # shared-barrier wall measurement.
+            elapsed=max(elapsed),
+            latencies={
+                kind: [
+                    v for shard in self.state.latencies for v in shard[kind]
+                ]
+                for kind in QUERY_KINDS
+            },
             events=global_events_processed() - events_before,
             high_water=max((q.high_water for q in self.state.queues),
                            default=0),

@@ -57,6 +57,7 @@ from repro.bench.microbench import (
 )
 from repro.bench.records import ExperimentTable, ratio
 from repro.bench.servebench import serve_cell, serve_scale_cell
+from repro.sim.partition import serve_shard_cell
 from repro.bench.wancachebench import wcb_cell, wcq_cell
 from repro.cluster.hetero import RandomSlowdown, StaticSlowdown
 from repro.net.calibration import get_model
@@ -1077,6 +1078,7 @@ POINT_FNS: Dict[str, Any] = {
     "chaos11_cell": chaos11_cell,
     "serve_cell": serve_cell,
     "serve_scale_cell": serve_scale_cell,
+    "serve_shard_cell": serve_shard_cell,
     "wcq_cell": wcq_cell,
     "wcb_cell": wcb_cell,
 }

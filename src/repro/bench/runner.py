@@ -99,6 +99,29 @@ def git_sha() -> str:
     return sha if proc.returncode == 0 and sha else "unknown"
 
 
+def _write_profile(profiler, directory: str, bench_id: str,
+                   panel: str) -> str:
+    """Dump one panel's cProfile as top-20 cumulative lines.
+
+    Written next to the run records (``benchmarks/results/`` is
+    gitignored, so profiles never end up committed).  Only the driver
+    process is profiled: meta panels and in-process point sweeps are
+    covered fully, while work farmed to pool workers shows up as time
+    inside the executor's result iteration.
+    """
+    import io
+    import pstats
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"PROFILE_{bench_id}_{panel}.txt")
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(20)
+    with open(path, "w") as fh:
+        fh.write(buf.getvalue())
+    return path
+
+
 def run_experiment(
     bench_id: str,
     quick: bool = False,
@@ -107,6 +130,7 @@ def run_experiment(
     jobs: Optional[int] = None,
     cache=None,
     executor=None,
+    profile_dir: Optional[str] = None,
 ) -> BenchRecord:
     """Run one suite and return its :class:`BenchRecord`.
 
@@ -140,6 +164,9 @@ def run_experiment(
         Reuse an existing :class:`~repro.bench.executor.SweepExecutor`
         (its pool and cache) instead of building one from ``jobs`` /
         ``cache``; the caller keeps ownership and must close it.
+    profile_dir:
+        When given, cProfile each panel in the driver process and write
+        ``PROFILE_<exp>_<panel>.txt`` (top 20 cumulative lines) there.
     """
     suite: BenchSuite = get_suite(bench_id)
     selected = tuple(panels) if panels is not None else suite.panels
@@ -166,22 +193,36 @@ def run_experiment(
             if progress is not None:
                 progress(f"running {suite.bench_id} panel {panel} "
                          f"({'quick' if quick else 'full'} axes)")
-            plan_fn = PLANS.get(panel)
-            if plan_fn is None:
-                agg = TraceAggregator()
-                tracer = Tracer()
-                tracer.subscribe("", agg)
-                before = global_events_processed()
-                with tracing(tracer, record=False):
-                    tables[panel] = FIGURES[panel](quick)
-                events += global_events_processed() - before
-                kind_parts.append(agg.kinds())
-            else:
-                plan = plan_fn(quick)
-                results = executor.run(plan.points, progress=progress)
-                tables[panel] = plan.merge([r.value for r in results])
-                events += sum(r.events for r in results)
-                kind_parts.extend(r.kinds for r in results)
+            profiler = None
+            if profile_dir is not None:
+                import cProfile
+
+                profiler = cProfile.Profile()
+                profiler.enable()
+            try:
+                plan_fn = PLANS.get(panel)
+                if plan_fn is None:
+                    agg = TraceAggregator()
+                    tracer = Tracer()
+                    tracer.subscribe("", agg)
+                    before = global_events_processed()
+                    with tracing(tracer, record=False):
+                        tables[panel] = FIGURES[panel](quick)
+                    events += global_events_processed() - before
+                    kind_parts.append(agg.kinds())
+                else:
+                    plan = plan_fn(quick)
+                    results = executor.run(plan.points, progress=progress)
+                    tables[panel] = plan.merge([r.value for r in results])
+                    events += sum(r.events for r in results)
+                    kind_parts.extend(r.kinds for r in results)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+                    path = _write_profile(
+                        profiler, profile_dir, suite.bench_id, panel)
+                    if progress is not None:
+                        progress(f"profile: wrote {path}")
     finally:
         if own_executor:
             executor.close()

@@ -28,7 +28,7 @@ from typing import Any, List
 
 from repro.apps.serve import ServeConfig, run_serve
 from repro.bench.executor import Point, PointPlan
-from repro.bench.records import ExperimentTable
+from repro.bench.records import ExperimentTable, ratio
 
 __all__ = [
     "serve_cell",
@@ -37,12 +37,15 @@ __all__ = [
     "serve_scale_sweep",
     "serve_points",
     "serve_scale_points",
+    "serve_parallel_benchmark",
     "SERVE_HOSTS",
     "SERVE_RATES",
     "SERVE_BURSTY_RATES",
     "SERVE_SCALE_HOSTS",
     "SERVE_SCALE_RATE",
     "SERVE_SEED",
+    "SERVE_PAR_HOSTS",
+    "SERVE_PAR_JOBS",
 ]
 
 #: Load panel cluster width (>= 256 hosts per the acceptance bar).
@@ -253,3 +256,97 @@ def serve_scale_points(
         return table
 
     return PointPlan("serve_scale", points, merge)
+
+
+# ---------------------------------------------------------------------------
+# serve_par — shard-parallel execution wall clock (repro.sim.partition)
+# ---------------------------------------------------------------------------
+
+#: Cluster width of the full-axis shard-parallel leg (the acceptance
+#: bar's 1024-host run).
+SERVE_PAR_HOSTS = 1024
+#: Worker processes the parallel leg fans out over.
+SERVE_PAR_JOBS = 4
+
+
+def serve_parallel_benchmark(quick: bool = False) -> ExperimentTable:
+    """The ``serve_par`` panel: one serving run, three execution modes.
+
+    Times the *same* logical simulation (one SocketVIA serving run at a
+    fixed per-shard load) three ways, all compared by
+    :meth:`~repro.apps.serve.ServeResult.digest`:
+
+    1. ``single_s`` — the ordinary single-process :func:`run_serve`;
+    2. ``parallel_s`` — :func:`repro.sim.partition.run_serve_parallel`
+       fanned out over ``--jobs`` worker processes, cold, populating a
+       throwaway chunk cache;
+    3. ``warm_s`` — the same sharded run against that cache (every
+       chunk must hit).
+
+    ``points``, ``events`` (chunking is a function of the shard count
+    only), ``warm_hits`` and the ``identical`` digest verdict are
+    deterministic and gated exactly.  The wall columns and derived
+    speedups measure the host — ``speedup_parallel`` is bounded by the
+    cores the host grants (see the ``host_cpus`` note) and everything
+    wall-shaped is gated warn-only.
+    """
+    import os
+    import shutil
+    import tempfile
+    import time
+
+    from repro.bench.cache import ResultCache
+    from repro.bench.executor import SweepExecutor
+    from repro.sim.partition import run_serve_parallel
+
+    config = ServeConfig(
+        protocol="socketvia",
+        hosts=64 if quick else SERVE_PAR_HOSTS,
+        rate_per_shard=SERVE_SCALE_RATE,
+        horizon=0.02 if quick else SERVE_SCALE_HORIZON,
+        seed=SERVE_SEED,
+    )
+    t0 = time.perf_counter()
+    single = run_serve(config)
+    single_s = time.perf_counter() - t0
+
+    cache_root = tempfile.mkdtemp(prefix="repro-servepar-cache-")
+    try:
+        cold_cache = ResultCache(cache_root)
+        with SweepExecutor(jobs=SERVE_PAR_JOBS, cache=cold_cache) as ex:
+            t0 = time.perf_counter()
+            par, par_stats = run_serve_parallel(config, executor=ex)
+            parallel_s = time.perf_counter() - t0
+
+        warm_cache = ResultCache(cache_root)
+        with SweepExecutor(jobs=1, cache=warm_cache) as ex:
+            t0 = time.perf_counter()
+            warm, _ = run_serve_parallel(config, executor=ex)
+            warm_s = time.perf_counter() - t0
+        warm_hits = warm_cache.hits
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    identical = single.digest() == par.digest() == warm.digest()
+    table = ExperimentTable(
+        "serve_par",
+        "Shard-parallel serving: single process vs --jobs "
+        f"{SERVE_PAR_JOBS} vs fully cached (digest-checked)",
+        ["hosts", "shards", "points", "events", "single_s",
+         "parallel_s", "speedup_parallel", "warm_s", "speedup_cache",
+         "warm_hits", "identical"],
+    )
+    table.add_row(
+        config.hosts, config.n_shards, par_stats["points"], par.events,
+        round(single_s, 3), round(parallel_s, 3),
+        ratio(single_s, parallel_s), round(warm_s, 3),
+        ratio(single_s, warm_s), warm_hits,
+        "yes" if identical else "no")
+    table.add_note(
+        f"host_cpus={os.cpu_count()}, parallel leg ran --jobs "
+        f"{SERVE_PAR_JOBS}")
+    table.add_note(
+        "wall-clock columns measure the host (warn-only in compare); "
+        "speedup_parallel is bounded by the cores the host grants — "
+        "regenerate on a >=4-core host for the parallelism headline")
+    return table

@@ -154,8 +154,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         arrival=args.arrival,
         seed=args.seed,
     )
+    stats = None
     with simulation_mode(args.mode):
-        result = run_serve(config)
+        if args.jobs is None:
+            result = run_serve(config)
+        else:
+            from repro.bench.cache import ResultCache
+            from repro.bench.executor import SweepExecutor
+            from repro.sim.partition import run_serve_parallel
+
+            cache = (ResultCache(args.cache_dir)
+                     if args.cache_dir else None)
+            with SweepExecutor(jobs=args.jobs, cache=cache) as executor:
+                result, stats = run_serve_parallel(config, executor=executor)
     print(f"serve: {args.protocol} on {args.hosts} hosts "
           f"({config.n_shards} shards), {args.arrival} arrivals at "
           f"{args.rate:g} q/s/shard over {args.horizon:g} s")
@@ -174,6 +185,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"({len(result.latencies[kind])} queries)")
     print(f"  queueing  : high water {result.high_water}/{args.capacity}, "
           f"{result.events_per_query:.1f} kernel events/query")
+    print(f"  digest    : {result.digest()}")
+    if stats is not None:
+        print(f"  sharding  : {stats['points']} chunk(s) over "
+              f"{stats['jobs']} worker(s)")
+        print(f"  cache: {stats['cache_hits']} hit(s), "
+              f"{stats['cache_misses']} miss(es)")
     return 0
 
 
@@ -216,7 +233,8 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             SweepExecutor(jobs=args.jobs, cache=cache) as executor:
         for exp in experiments:
             record = runner.run_experiment(
-                exp, quick=args.quick, progress=print, executor=executor)
+                exp, quick=args.quick, progress=print, executor=executor,
+                profile_dir=out_dir if args.profile else None)
             for panel in sorted(record.tables):
                 print()
                 print(record.table(panel).render())
@@ -437,6 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
                          default="poisson",
                          help="arrival process (bursty = MMPP on/off)")
     p_serve.add_argument("--seed", type=int, default=17)
+    p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="run shard-parallel across N worker "
+                              "processes (0 = one per CPU; default: "
+                              "single process).  The merged result is "
+                              "digest-identical to the serial run")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="with --jobs: memoize per-chunk results "
+                              "in this content-addressed cache dir")
     p_serve.add_argument("--mode", choices=("packet", "fluid", "auto"),
                          default=None,
                          help="simulation mode (default: REPRO_SIM_MODE "
@@ -470,6 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "0 = one per CPU)")
     pb_run.add_argument("--no-cache", action="store_true",
                         help="skip the content-addressed point-result cache")
+    pb_run.add_argument("--profile", action="store_true",
+                        help="cProfile each panel; write the top-20 "
+                             "cumulative lines to "
+                             "PROFILE_<exp>_<panel>.txt next to the "
+                             "results (driver process only — pool "
+                             "workers are not profiled)")
     pb_run.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="cache dir (default REPRO_BENCH_CACHE or "
                              "benchmarks/cache)")

@@ -204,6 +204,7 @@ def serving_topology(
     seed: int = 0,
     tracer: Optional[Tracer] = None,
     cores: int = 2,
+    first_host: int = 0,
 ) -> Cluster:
     """A wide serving cluster: *hosts* nodes on a single cLAN fabric.
 
@@ -220,12 +221,22 @@ def serving_topology(
 
     Shard-indexed code should address hosts positionally via
     :meth:`Cluster.host_at`, which is O(1) in cluster size.
+
+    ``first_host`` builds a *sub-cluster*: ``hosts`` nodes carrying the
+    global names ``host{first_host:04d}`` onward.  Because every
+    per-host RNG stream is keyed by host *name* (not position), a
+    sub-cluster reproduces bit-identical host behaviour to the same
+    span inside the full cluster — the property
+    :mod:`repro.sim.partition` leans on to shard a serving simulation
+    across worker processes.
     """
     if hosts < 2:
         raise TopologyError("serving topology needs at least 2 hosts")
+    if first_host < 0:
+        raise TopologyError(f"first_host must be >= 0, got {first_host}")
     cluster = Cluster(seed=seed, tracer=tracer)
     cluster.add_fabric("clan")
-    for i in range(hosts):
+    for i in range(first_host, first_host + hosts):
         cluster.add_host(f"host{i:04d}", cores=cores)
     return cluster
 

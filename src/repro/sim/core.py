@@ -29,6 +29,13 @@ The run loop is deliberately allocation-light (see docs/ARCHITECTURE.md,
   are re-armed by the next :meth:`timeout` call instead of reallocated.
 * **Batched scheduling** — :meth:`schedule_many` pushes a pre-computed
   burst of (event, delay) pairs with one Python call.
+* **Pluggable event queue** — the pending set lives in a backend from
+  :mod:`repro.sim.queues` (binary heap by default, calendar/ladder queue
+  for large far-future populations, or ``auto`` migration between them),
+  selected per instance or via ``REPRO_SIM_QUEUE``.  The default heap is
+  a ``list`` subclass so the inlined run loop keeps its C-speed
+  ``heappop``/indexing; other backends run through a generic loop with
+  identical semantics.
 """
 
 from __future__ import annotations
@@ -49,6 +56,14 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.process import Process
+from repro.sim.queues import (
+    AUTO_CALENDAR_AT,
+    AUTO_HEAP_AT,
+    CalendarQueue,
+    HeapQueue,
+    make_queue,
+    resolve_queue_backend,
+)
 
 __all__ = ["Simulator", "global_events_processed"]
 
@@ -72,6 +87,13 @@ class Simulator:
     ----------
     start_time:
         Initial value of the clock (seconds).  Defaults to 0.
+    queue:
+        Event-queue backend: ``"heap"`` (default), ``"calendar"``, or
+        ``"auto"`` (heap that migrates to a calendar queue when the
+        pending population grows past
+        :data:`~repro.sim.queues.AUTO_CALENDAR_AT`).  ``None`` defers to
+        the ``REPRO_SIM_QUEUE`` environment variable.  Every backend
+        dequeues in identical ``(time, priority, seq)`` order.
 
     Examples
     --------
@@ -104,9 +126,12 @@ class Simulator:
     #: compaction is the backstop bounding the heap at ~4x the live set.
     _COMPACT_MIN = 1024
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, queue: Optional[str] = None) -> None:
         self._now = float(start_time)
-        self._heap: List[Tuple[float, int, int, Event]] = []
+        #: Resolved backend name (stable even after auto migration).
+        self.queue_backend = resolve_queue_backend(queue)
+        self._auto = self.queue_backend == "auto"
+        self._heap = make_queue(self.queue_backend)
         self._seq = 0
         #: The process currently being resumed, if any (for diagnostics).
         self._active_process: Optional[Process] = None
@@ -125,6 +150,11 @@ class Simulator:
         self.events_processed = 0
         #: High-water mark of the heap, observed at run-loop iterations.
         self.heap_peak = 0
+        #: Allocations avoided via the Timeout/Event free lists and the
+        #: cancelled-timeout graveyard.
+        self.pool_hits = 0
+        #: Tombstone compaction sweeps performed.
+        self.compactions = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -140,12 +170,22 @@ class Simulator:
         stays invisible to callers.
         """
         heap = self._heap
-        while heap and heap[0][3]._gen != heap[0][2]:
-            event = heappop(heap)[3]
+        if heap.__class__ is HeapQueue:
+            while heap and heap[0][3]._gen != heap[0][2]:
+                event = heappop(heap)[3]
+                if event._gen == -1:
+                    event._detached = True
+                self._tombstones -= 1
+            return heap[0][0] if heap else _INF
+        while heap:
+            entry = heap.first()
+            if entry[3]._gen == entry[2]:
+                return entry[0]
+            event = heap.pop()[3]
             if event._gen == -1:
                 event._detached = True
             self._tombstones -= 1
-        return heap[0][0] if heap else _INF
+        return _INF
 
     # -- scheduling ------------------------------------------------------------
 
@@ -158,9 +198,15 @@ class Simulator:
                 "cannot schedule at NaN delay (would corrupt heap ordering)"
             )
         seq = self._seq
-        heappush(self._heap, (self._now + delay, priority, seq, event))
+        heap = self._heap
+        if heap.__class__ is HeapQueue:
+            heappush(heap, (self._now + delay, priority, seq, event))
+        else:
+            heap.push((self._now + delay, priority, seq, event))
         event._gen = seq
         self._seq = seq + 1
+        if self._auto:
+            self._auto_migrate()
 
     def schedule_many(
         self,
@@ -179,7 +225,8 @@ class Simulator:
         heap = self._heap
         now = self._now
         seq = self._seq
-        push = heappush
+        fast = heap.__class__ is HeapQueue
+        push = heappush if fast else heap.push
         n = 0
         try:
             for event, delay in pairs:
@@ -191,12 +238,17 @@ class Simulator:
                     raise EventLifecycleError(
                         "cannot schedule at NaN delay (would corrupt heap ordering)"
                     )
-                push(heap, (now + delay, priority, seq, event))
+                if fast:
+                    push(heap, (now + delay, priority, seq, event))
+                else:
+                    push((now + delay, priority, seq, event))
                 event._gen = seq
                 seq += 1
                 n += 1
         finally:
             self._seq = seq
+        if self._auto:
+            self._auto_migrate()
         return n
 
     # -- lazy cancellation ------------------------------------------------------
@@ -224,17 +276,50 @@ class Simulator:
         the timeout may be re-armed immediately.
         """
         heap = self._heap
-        live = []
-        append = live.append
-        for entry in heap:
-            event = entry[3]
-            if event._gen == entry[2]:
-                append(entry)
-            elif event._gen == -1:
-                event._detached = True
-        heapify(live)
-        heap[:] = live
+        if heap.__class__ is HeapQueue:
+            live = []
+            append = live.append
+            for entry in heap:
+                event = entry[3]
+                if event._gen == entry[2]:
+                    append(entry)
+                elif event._gen == -1:
+                    event._detached = True
+            heapify(live)
+            heap[:] = live
+        else:
+            heap.compact(self._entry_live)
         self._tombstones = 0
+        self.compactions += 1
+
+    def _entry_live(self, entry: Tuple[float, int, int, Event]) -> bool:
+        """Compaction predicate for non-heap backends: live iff the
+        event's generation stamp matches; flags detached graveyard
+        candidates as a side effect (see :meth:`_compact`)."""
+        event = entry[3]
+        if event._gen == entry[2]:
+            return True
+        if event._gen == -1:
+            event._detached = True
+        return False
+
+    def _auto_migrate(self) -> None:
+        """``auto`` backend: hop between heap and calendar storage as the
+        pending population crosses the hysteresis thresholds.  All
+        entries (tombstones included — ``_tombstones`` stays valid)
+        carry over, and both backends realize the same dequeue order, so
+        migration is invisible to the simulation.
+        """
+        heap = self._heap
+        if heap.__class__ is HeapQueue:
+            if len(heap) >= AUTO_CALENDAR_AT:
+                new = CalendarQueue()
+                new.push_many(heap)
+                self._heap = new
+        elif len(heap) <= AUTO_HEAP_AT:
+            new = HeapQueue(heap.entries())
+            heapify(new)
+            self._heap = new
 
     # -- factory helpers --------------------------------------------------------
 
@@ -247,6 +332,7 @@ class Simulator:
         """
         pool = self._event_pool
         if pool:
+            self.pool_hits += 1
             return pool.pop()
         return Event(self)
 
@@ -273,9 +359,16 @@ class Simulator:
             t._ok = True
             t._value = value
             seq = self._seq
-            heappush(self._heap, (self._now + delay, 1, seq, t))
+            heap = self._heap
+            if heap.__class__ is HeapQueue:
+                heappush(heap, (self._now + delay, 1, seq, t))
+            else:
+                heap.push((self._now + delay, 1, seq, t))
             t._gen = seq
             self._seq = seq + 1
+            self.pool_hits += 1
+            if self._auto:
+                self._auto_migrate()
             return t
         grave = self._grave
         if grave and _getrefcount is not None:
@@ -301,9 +394,16 @@ class Simulator:
                 cand.defused = False
                 cand._cancelled = False
                 seq = self._seq
-                heappush(self._heap, (self._now + delay, 1, seq, cand))
+                heap = self._heap
+                if heap.__class__ is HeapQueue:
+                    heappush(heap, (self._now + delay, 1, seq, cand))
+                else:
+                    heap.push((self._now + delay, 1, seq, cand))
                 cand._gen = seq
                 self._seq = seq + 1
+                self.pool_hits += 1
+                if self._auto:
+                    self._auto_migrate()
                 return cand
             grave.append(cand)
         return Timeout(self, delay, value)
@@ -345,9 +445,14 @@ class Simulator:
         Tombstoned (cancelled) entries are discarded silently; they do not
         count as the one processed event.
         """
-        heap = self._heap
-        while heap:
-            when, _prio, seq, event = heappop(heap)
+        while True:
+            heap = self._heap
+            if not heap:
+                break
+            if heap.__class__ is HeapQueue:
+                when, _prio, seq, event = heappop(heap)
+            else:
+                when, _prio, seq, event = heap.pop()
             if event._gen != seq:
                 if event._gen == -1:
                     event._detached = True
@@ -389,7 +494,16 @@ class Simulator:
         free list, and the refcount probe.  Counter attributes are flushed
         back in the ``finally`` block so exceptions (including simulation
         failures propagated out of callbacks) keep the totals honest.
+
+        Only the default heap backend may take this loop — binding the
+        heap local once assumes stable list identity, which ``auto``
+        migration breaks.  Everything else routes through
+        :meth:`_run_loop_generic`, which has identical semantics.
         """
+        if self._heap.__class__ is not HeapQueue or self._auto:
+            if self._heap.__class__ is CalendarQueue and not self._auto:
+                return self._run_loop_calendar(stop_at, stop_event, budget)
+            return self._run_loop_generic(stop_at, stop_event, budget)
         heap = self._heap
         pop = heappop
         hooks = self._trace_hooks
@@ -473,6 +587,209 @@ class Simulator:
                 ):
                     # Full reset to PENDING so Simulator.event() can hand
                     # it out as new.
+                    event.callbacks = None
+                    event._value = unset
+                    event._ok = None
+                    event.defused = False
+                    epool.append(event)
+        finally:
+            self.events_processed += n
+            _GLOBAL_EVENTS[0] += n
+            if peak > self.heap_peak:
+                self.heap_peak = peak
+
+    def _run_loop_calendar(
+        self,
+        stop_at: float,
+        stop_event: Optional[Event],
+        budget: Optional[int] = None,
+    ) -> None:
+        """Inlined run loop for an explicit :class:`CalendarQueue` backend.
+
+        The calendar's whole point is O(1) far inserts, but driving it
+        through ``heap.first()``/``heap.pop()`` costs three Python-level
+        method calls per event that the heap loop's C ``heappop`` never
+        pays — enough to cancel the asymptotic win.  This loop reaches
+        into the backend instead: the *near* heap is a plain list whose
+        minimum is the global minimum whenever it is non-empty (every
+        far entry sits at or beyond the horizon), so the body C-pops
+        ``near`` directly and only calls :meth:`CalendarQueue._promote`
+        when it drains.  ``q._near`` is re-read every iteration because
+        promotion and compaction replace the list object; ``q`` itself
+        is bound once — an explicit calendar backend never migrates
+        (``auto`` routes to :meth:`_run_loop_generic`).
+        """
+        q = self._heap
+        pop = heappop
+        promote = q._promote
+        hooks = self._trace_hooks
+        tpool = self._timeout_pool
+        epool = self._event_pool
+        pool_max = self._POOL_MAX
+        getref = _getrefcount
+        local_refs = _LOCAL_REFS if getref is not None else None
+        mark = _PROCESSED_MARK
+        unset = _UNSET
+        timeout_cls = Timeout
+        event_cls = Event
+        check_stop = stop_event is not None or stop_at != _INF
+        limit = -1 if budget is None else budget
+        peak = self.heap_peak
+        n = 0
+        try:
+            while True:
+                near = q._near
+                if not near:
+                    if not q._far_len:
+                        return
+                    promote()
+                    near = q._near
+                hlen = len(near) + q._far_len
+                if hlen > peak:
+                    peak = hlen
+                if check_stop:
+                    if stop_event is not None and stop_event.callbacks is mark:
+                        return
+                    if near[0][0] > stop_at:
+                        return
+                when, _prio, seq, event = pop(near)
+                if event._gen != seq:
+                    if event._gen == -1:
+                        event._detached = True
+                    self._tombstones -= 1
+                    continue
+                self._now = when
+                cls = event.__class__
+
+                cbs = event.callbacks
+                event.callbacks = mark
+                if hooks:
+                    for hook in hooks:
+                        hook(when, event)
+                if cbs is not None:
+                    if cbs.__class__ is list:
+                        for callback in cbs:
+                            callback(event)
+                    else:
+                        cbs(event)
+
+                n += 1
+                if event._ok is False and not event.defused:
+                    raise event._value
+                if n == limit:
+                    return
+
+                if cls is timeout_cls:
+                    if (
+                        local_refs is not None
+                        and len(tpool) < pool_max
+                        and getref(event) == local_refs
+                    ):
+                        event.callbacks = None
+                        event._value = None
+                        event.defused = False
+                        tpool.append(event)
+                elif (
+                    cls is event_cls
+                    and local_refs is not None
+                    and len(epool) < pool_max
+                    and getref(event) == local_refs
+                ):
+                    event.callbacks = None
+                    event._value = unset
+                    event._ok = None
+                    event.defused = False
+                    epool.append(event)
+        finally:
+            self.events_processed += n
+            _GLOBAL_EVENTS[0] += n
+            if peak > self.heap_peak:
+                self.heap_peak = peak
+
+    def _run_loop_generic(
+        self,
+        stop_at: float,
+        stop_event: Optional[Event],
+        budget: Optional[int] = None,
+    ) -> None:
+        """Backend-agnostic run loop (``auto`` and third-party backends).
+
+        Same semantics as :meth:`_run_loop` — stop conditions, tombstone
+        discards, trace hooks, failure propagation, free-list recycling,
+        counter flushing — but the queue is re-read from ``self._heap``
+        every iteration (``auto`` migration swaps the object under us)
+        and accessed through the backend's ``first``/``pop`` methods.
+        """
+        hooks = self._trace_hooks
+        tpool = self._timeout_pool
+        epool = self._event_pool
+        pool_max = self._POOL_MAX
+        getref = _getrefcount
+        local_refs = _LOCAL_REFS if getref is not None else None
+        mark = _PROCESSED_MARK
+        unset = _UNSET
+        timeout_cls = Timeout
+        event_cls = Event
+        check_stop = stop_event is not None or stop_at != _INF
+        limit = -1 if budget is None else budget
+        peak = self.heap_peak
+        n = 0
+        try:
+            while True:
+                heap = self._heap
+                if not heap:
+                    return
+                hlen = len(heap)
+                if hlen > peak:
+                    peak = hlen
+                if check_stop:
+                    if stop_event is not None and stop_event.callbacks is mark:
+                        return
+                    if heap.first()[0] > stop_at:
+                        return
+                when, _prio, seq, event = heap.pop()
+                if event._gen != seq:
+                    if event._gen == -1:
+                        event._detached = True
+                    self._tombstones -= 1
+                    continue
+                self._now = when
+                cls = event.__class__
+
+                cbs = event.callbacks
+                event.callbacks = mark
+                if hooks:
+                    for hook in hooks:
+                        hook(when, event)
+                if cbs is not None:
+                    if cbs.__class__ is list:
+                        for callback in cbs:
+                            callback(event)
+                    else:
+                        cbs(event)
+
+                n += 1
+                if event._ok is False and not event.defused:
+                    raise event._value
+                if n == limit:
+                    return
+
+                if cls is timeout_cls:
+                    if (
+                        local_refs is not None
+                        and len(tpool) < pool_max
+                        and getref(event) == local_refs
+                    ):
+                        event.callbacks = None
+                        event._value = None
+                        event.defused = False
+                        tpool.append(event)
+                elif (
+                    cls is event_cls
+                    and local_refs is not None
+                    and len(epool) < pool_max
+                    and getref(event) == local_refs
+                ):
                     event.callbacks = None
                     event._value = unset
                     event._ok = None

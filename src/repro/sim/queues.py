@@ -1,0 +1,262 @@
+"""Pluggable event-queue backends for the simulation kernel.
+
+The :class:`~repro.sim.core.Simulator` stores pending events as
+``(time, priority, seq, event)`` tuples and must always dequeue them in
+exactly that tuple order — the determinism contract every figure,
+baseline, and property test in this repo leans on.  This module
+factors *how* that ordered set is stored out of the kernel into
+interchangeable backends:
+
+* :class:`HeapQueue` — the classic binary heap.  A ``list`` subclass,
+  so the kernel's inlined hot loop keeps calling C ``heappush`` /
+  ``heappop`` directly on it (heapq's C implementation operates on
+  list subclasses at full speed) and ``len()`` / ``[0]`` stay O(1)
+  C operations.  This is the default and is bit-for-bit the pre-
+  refactor behaviour.
+* :class:`CalendarQueue` — a calendar/ladder queue: a small *near*
+  heap holding every entry below a moving horizon plus *far* buckets
+  (plain unsorted lists keyed by ``int(time / width)``) for everything
+  beyond it.  Far inserts are O(1) ``list.append``; when the near heap
+  drains, the earliest far bucket is promoted with one C ``heapify``
+  — O(n) for n entries instead of n heap-pushes at O(log N) each.  On
+  workloads with a large far-future pending population (retransmit
+  timer wheels, deadline floods) that amortizes dequeue to O(1) per
+  event; on sub-``width`` simulations it degrades gracefully to
+  "heap plus a promotion check".
+
+Both backends support the kernel's lazy-cancellation protocol: stale
+entries (``event._gen != entry_seq``) stay where they are until popped
+or swept by :meth:`compact`, and sweeping preserves the exact
+``(time, priority, seq)`` dequeue order of the survivors.
+
+Selection
+---------
+``Simulator(queue=...)`` picks a backend explicitly; otherwise the
+``REPRO_SIM_QUEUE`` environment variable decides (``heap`` — the
+default — ``calendar``, or ``auto``).  In ``auto`` mode the simulator
+starts on the heap and migrates the pending set to a calendar queue
+once the population crosses :data:`AUTO_CALENDAR_AT` entries (with
+hysteresis back below :data:`AUTO_HEAP_AT`), because the calendar's
+constant factors only pay for themselves at scale.  Migration rebuilds
+the backend from the live entries and is O(population) — amortized
+free against the growth that triggered it.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heapify, heappop, heappush
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = [
+    "QUEUE_BACKENDS",
+    "AUTO_CALENDAR_AT",
+    "AUTO_HEAP_AT",
+    "HeapQueue",
+    "CalendarQueue",
+    "make_queue",
+    "resolve_queue_backend",
+]
+
+#: Entry shape shared with the kernel: ``(time, priority, seq, event)``.
+Entry = Tuple[float, int, int, object]
+
+#: Recognized backend names (``auto`` resolves to heap-with-migration).
+QUEUE_BACKENDS = ("heap", "calendar", "auto")
+
+#: ``auto`` mode: migrate heap -> calendar above this pending population.
+AUTO_CALENDAR_AT = 16_384
+#: ``auto`` mode: migrate calendar -> heap below this pending population.
+AUTO_HEAP_AT = 2_048
+
+#: Far times at or beyond this land in the terminal overflow bucket
+#: (also catches ``inf`` before ``int()`` can overflow).
+_FAR_LIMIT = 1e15
+_OVERFLOW_BUCKET = 1 << 62
+
+
+def resolve_queue_backend(queue: Optional[str] = None) -> str:
+    """Backend name: explicit argument > ``REPRO_SIM_QUEUE`` env > heap."""
+    name = queue or os.environ.get("REPRO_SIM_QUEUE", "") or "heap"
+    name = name.lower()
+    if name not in QUEUE_BACKENDS:
+        raise ValueError(
+            f"unknown event-queue backend {name!r}; have {QUEUE_BACKENDS}"
+        )
+    return name
+
+
+class HeapQueue(list):
+    """Binary-heap backend: a bare ``list`` in heap order.
+
+    Subclassing ``list`` (instead of wrapping one) is load-bearing:
+    heapq's C functions accept list subclasses and manipulate the
+    underlying storage directly, so the kernel's inlined run loop —
+    which calls ``heappop(heap)`` / ``heap[0]`` / ``len(heap)`` on the
+    instance — runs at exactly the speed of the pre-backend kernel.
+    The method API below is only used by the generic (non-inlined)
+    kernel paths and by tests.
+    """
+
+    __slots__ = ()
+
+    def push(self, entry: Entry) -> None:
+        heappush(self, entry)
+
+    def push_many(self, entries) -> None:
+        for entry in entries:
+            heappush(self, entry)
+
+    def pop(self) -> Entry:  # type: ignore[override]
+        return heappop(self)
+
+    def first(self) -> Entry:
+        """The minimum entry without removing it (queue must be non-empty)."""
+        return self[0]
+
+    def compact(self, keep) -> None:
+        """Drop entries where ``keep(entry)`` is false; preserve order.
+
+        Rewrites the list in place because the run loop may hold a
+        direct reference to it.
+        """
+        live = [entry for entry in self if keep(entry)]
+        heapify(live)
+        self[:] = live
+
+    def entries(self) -> Iterator[Entry]:
+        """Every stored entry, in arbitrary order (drain/migrate/tests)."""
+        return iter(list(self))
+
+
+class CalendarQueue:
+    """Calendar/ladder backend: near heap + O(1)-append far buckets.
+
+    Parameters
+    ----------
+    width:
+        Bucket span in simulated seconds.  Entries below the moving
+        horizon sit in the near heap; an entry at time ``t`` beyond it
+        is appended to bucket ``int(t / width)``.  The default of 1.0
+        suits the kernel workloads that schedule seconds ahead
+        (timer wheels, deadline floods); sims whose whole run fits in
+        one bucket simply behave like a heap with a promotion check.
+
+    Invariant: every far entry's time is ``>= horizon`` and every near
+    entry's was ``< horizon`` when pushed; promotion only happens when
+    the near heap is empty and takes the *lowest-indexed* bucket, so
+    cross-bucket order can never invert.  Within a bucket, ``heapify``
+    + ``heappop`` realize exact ``(time, priority, seq)`` order.
+    """
+
+    __slots__ = ("_near", "_far", "_bucket_keys", "_horizon", "_inv_width",
+                 "_width", "_far_len", "promotions")
+
+    def __init__(self, width: float = 1.0) -> None:
+        if width <= 0:
+            raise ValueError(f"bucket width must be > 0, got {width}")
+        self._near: List[Entry] = []
+        self._far: dict = {}
+        self._bucket_keys: List[int] = []
+        #: Times below this go to the near heap.  Starts at 0 so the
+        #: first pop promotes the earliest bucket and fixes the horizon.
+        self._horizon = 0.0
+        self._width = float(width)
+        self._inv_width = 1.0 / float(width)
+        self._far_len = 0
+        #: Buckets promoted so far (visible to the kernel's counters).
+        self.promotions = 0
+
+    # -- sizing -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._near) + self._far_len
+
+    def __bool__(self) -> bool:
+        return bool(self._near) or self._far_len > 0
+
+    # -- insertion ----------------------------------------------------------
+
+    def push(self, entry: Entry) -> None:
+        t = entry[0]
+        if t < self._horizon:
+            heappush(self._near, entry)
+            return
+        if t >= _FAR_LIMIT:
+            b = _OVERFLOW_BUCKET
+        else:
+            b = int(t * self._inv_width)
+        bucket = self._far.get(b)
+        if bucket is None:
+            self._far[b] = [entry]
+            heappush(self._bucket_keys, b)
+        else:
+            bucket.append(entry)
+        self._far_len += 1
+
+    def push_many(self, entries) -> None:
+        for entry in entries:
+            self.push(entry)
+
+    # -- removal ------------------------------------------------------------
+
+    def _promote(self) -> None:
+        """Move the earliest far bucket into the (empty) near heap."""
+        b = heappop(self._bucket_keys)
+        bucket = self._far.pop(b)
+        heapify(bucket)
+        self._near = bucket
+        self._far_len -= len(bucket)
+        self.promotions += 1
+        if b == _OVERFLOW_BUCKET:
+            self._horizon = float("inf")
+        else:
+            self._horizon = (b + 1) * self._width
+
+    def pop(self) -> Entry:
+        near = self._near
+        if not near:
+            self._promote()
+            near = self._near
+        return heappop(near)
+
+    def first(self) -> Entry:
+        if not self._near:
+            self._promote()
+        return self._near[0]
+
+    # -- maintenance --------------------------------------------------------
+
+    def compact(self, keep) -> None:
+        """Sweep entries failing ``keep`` from the near heap and every
+        far bucket; dequeue order of survivors is unchanged (bucket
+        membership and near/far split only depend on entry times)."""
+        live_near = [entry for entry in self._near if keep(entry)]
+        heapify(live_near)
+        self._near = live_near
+        far: dict = {}
+        far_len = 0
+        for b, bucket in self._far.items():
+            live = [entry for entry in bucket if keep(entry)]
+            if live:
+                far[b] = live
+                far_len += len(live)
+        self._far = far
+        self._far_len = far_len
+        keys = list(far)
+        heapify(keys)
+        self._bucket_keys = keys
+
+    def entries(self) -> Iterator[Entry]:
+        """Every stored entry, in arbitrary order (drain/migrate/tests)."""
+        out = list(self._near)
+        for bucket in self._far.values():
+            out.extend(bucket)
+        return iter(out)
+
+
+def make_queue(backend: str):
+    """Build the backend for a resolved name (``auto`` starts on heap)."""
+    if backend == "calendar":
+        return CalendarQueue()
+    return HeapQueue()

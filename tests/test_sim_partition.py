@@ -1,0 +1,155 @@
+"""Shard-parallel serving tests (`repro.sim.partition`).
+
+The load-bearing property: a serving simulation carved into shard-span
+chunks and merged back is **bit-identical** to the single-process run —
+same :meth:`ServeResult.digest` (sha256 over counts and every
+float-exact latency sample) for any partitioning, any ``jobs`` value,
+cold or cached.  These tests hold the whole chain to that: the
+sub-cluster topology, `ServeApp(shard_range=...)`, the chunk point fn's
+JSON round trip through the real executor + cache, and the final merge.
+"""
+
+import pytest
+
+from repro.apps.serve import ServeApp, ServeConfig, ServeResult, run_serve
+from repro.apps.workload import build_schedule
+from repro.bench.cache import ResultCache
+from repro.bench.executor import SweepExecutor
+from repro.cluster.topology import serving_topology
+from repro.errors import ExperimentError, TopologyError
+from repro.sim.partition import (
+    TARGET_CHUNKS,
+    run_serve_parallel,
+    serve_shard_points,
+    shard_chunks,
+)
+
+CONFIG = ServeConfig(protocol="socketvia", hosts=16, rate_per_shard=300.0,
+                     horizon=0.02, seed=17)
+
+
+def _sharded_digest(config, spans):
+    """Run each span on its own sub-cluster and merge in shard order."""
+    schedule = build_schedule(config.tenant_specs(), config.horizon,
+                              config.seed)
+    parts = []
+    for lo, hi in spans:
+        cluster = serving_topology(2 * (hi - lo), seed=config.seed,
+                                   first_host=2 * lo)
+        app = ServeApp(cluster, config, shard_range=(lo, hi))
+        parts.append(app.run(schedule))
+    return ServeResult.merged(config, parts).digest()
+
+
+class TestShardChunks:
+    def test_covers_range_contiguously(self):
+        for n in (1, 2, 7, 31, 32, 33, 100, 512):
+            chunks = shard_chunks(n)
+            assert chunks[0][0] == 0
+            assert chunks[-1][1] == n
+            for (_, a_hi), (b_lo, _) in zip(chunks, chunks[1:]):
+                assert a_hi == b_lo
+
+    def test_chunk_count_bounded_by_target(self):
+        for n in (1, 16, 32, 33, 512, 1000):
+            assert len(shard_chunks(n)) <= TARGET_CHUNKS
+
+    def test_small_counts_one_shard_per_chunk(self):
+        assert shard_chunks(4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            shard_chunks(0)
+
+    def test_independent_of_jobs(self):
+        """Chunk boundaries are a function of the shard count only, so
+        cache entries are shared across every ``--jobs`` value."""
+        points = serve_shard_points(CONFIG)
+        assert len(points) == len(shard_chunks(CONFIG.n_shards))
+        spans = [(p.params["shard_lo"], p.params["shard_hi"])
+                 for p in points]
+        assert spans == shard_chunks(CONFIG.n_shards)
+
+
+class TestShardRangeValidation:
+    def test_rejects_bad_range(self):
+        cluster = serving_topology(16, seed=CONFIG.seed)
+        with pytest.raises(ExperimentError):
+            ServeApp(cluster, CONFIG, shard_range=(4, 3))
+        with pytest.raises(ExperimentError):
+            ServeApp(cluster, CONFIG, shard_range=(0, 99))
+
+    def test_rejects_undersized_cluster(self):
+        cluster = serving_topology(4, seed=CONFIG.seed)
+        with pytest.raises(ExperimentError):
+            ServeApp(cluster, CONFIG, shard_range=(0, 8))
+
+    def test_rejects_misaligned_subcluster(self):
+        # A sub-cluster starting at the wrong global host name would
+        # silently draw the wrong RNG streams; the app must refuse it.
+        cluster = serving_topology(4, seed=CONFIG.seed, first_host=2)
+        with pytest.raises(ExperimentError):
+            ServeApp(cluster, CONFIG, shard_range=(0, 2))
+
+    def test_rejects_negative_first_host(self):
+        with pytest.raises(TopologyError):
+            serving_topology(4, first_host=-2)
+
+    def test_merged_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            ServeResult.merged(CONFIG, [])
+
+
+class TestDigestIdentity:
+    def test_full_run_digest_is_stable(self):
+        assert run_serve(CONFIG).digest() == run_serve(CONFIG).digest()
+
+    @pytest.mark.parametrize("spans", [
+        [(0, 8)],
+        [(0, 4), (4, 8)],
+        [(0, 3), (3, 5), (5, 8)],
+        [(i, i + 1) for i in range(8)],
+    ])
+    def test_any_partitioning_matches_full_run(self, spans):
+        assert _sharded_digest(CONFIG, spans) == run_serve(CONFIG).digest()
+
+    def test_tcp_protocol_partitions_too(self):
+        config = ServeConfig(protocol="tcp", hosts=8, rate_per_shard=300.0,
+                             horizon=0.02, seed=17)
+        spans = [(0, 2), (2, 4)]
+        assert _sharded_digest(config, spans) == run_serve(config).digest()
+
+
+class TestRunServeParallel:
+    def test_matches_serial_across_jobs_and_cache(self, tmp_path):
+        """jobs=1, jobs=2, cold and fully cached: one digest."""
+        expect = run_serve(CONFIG).digest()
+
+        merged1, stats1 = run_serve_parallel(CONFIG, jobs=1)
+        assert merged1.digest() == expect
+        assert stats1["points"] == len(shard_chunks(CONFIG.n_shards))
+        assert stats1["cache_hits"] == 0
+
+        cache = ResultCache(str(tmp_path))
+        with SweepExecutor(jobs=2, cache=cache) as ex:
+            merged2, stats2 = run_serve_parallel(CONFIG, executor=ex)
+        assert merged2.digest() == expect
+        assert stats2["jobs"] == 2
+        assert stats2["cache_misses"] == stats2["points"]
+
+        warm = ResultCache(str(tmp_path))
+        with SweepExecutor(jobs=1, cache=warm) as ex:
+            merged3, stats3 = run_serve_parallel(CONFIG, executor=ex)
+        assert merged3.digest() == expect
+        assert stats3["cache_hits"] == stats3["points"]
+        assert stats3["cache_misses"] == 0
+
+    def test_merged_counts_add_up(self):
+        merged, _ = run_serve_parallel(CONFIG, jobs=1)
+        single = run_serve(CONFIG)
+        assert merged.offered == single.offered
+        assert merged.admitted == single.admitted
+        assert merged.dropped == single.dropped
+        assert merged.completed == single.completed
+        assert merged.elapsed == single.elapsed
+        assert merged.latencies == single.latencies
