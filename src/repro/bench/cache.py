@@ -18,7 +18,8 @@ Key anatomy (SHA-256 over a canonical JSON document)::
       "code": "<fingerprint>",    # hash over src/repro/**/*.py + git sha
       "faults": null,             # ambient FaultPlan fingerprint, or null
       "mode": "packet",           # effective simulation mode
-      "cache_cfg": null           # ambient CacheConfig fingerprint, or null
+      "cache_cfg": null,          # ambient CacheConfig fingerprint, or null
+      "replication": null         # ambient ReplicationPolicy fingerprint, or null
     }
 
 The *faults* field is :func:`repro.faults.active_fingerprint` — ``None``
@@ -36,6 +37,14 @@ placements, or stripe widths can never alias.  The wancache panels
 carry their knobs explicitly in ``params``; this field covers ambient
 installation (``WanCacheConfig`` fills unset knobs from the ambient
 config, which would otherwise be invisible to the key).
+
+The *replication* field does the same for replicated dispatch: it is
+:func:`repro.datacutter.scheduling.active_replication_fingerprint` —
+``None`` unless the sweep runs inside ``with replicating(policy):`` —
+so tails points measured under different ambient (k, cancel, hedge)
+settings never alias.  The tails panels carry their knobs explicitly
+in ``params``; this field covers ambient installation (``TailsConfig``
+fills unset knobs from the ambient policy).
 
 The *mode* field is :func:`repro.sim.flow.effective_sim_mode` — the
 simulation mode transfers actually run under (``"packet"`` or
@@ -164,6 +173,9 @@ class ResultCache:
     def key(self, figure: str, fn: str, params: Dict[str, Any]) -> str:
         """SHA-256 cache key for one point (see module docstring)."""
         from repro.cache import active_cache_fingerprint
+        from repro.datacutter.scheduling import (
+            active_replication_fingerprint,
+        )
         from repro.faults import active_fingerprint
         from repro.sim.flow import effective_sim_mode
 
@@ -176,6 +188,7 @@ class ResultCache:
             "faults": active_fingerprint(),
             "mode": effective_sim_mode(),
             "cache_cfg": active_cache_fingerprint(),
+            "replication": active_replication_fingerprint(),
         }
         canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()

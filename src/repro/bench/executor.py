@@ -121,15 +121,19 @@ def execute_point(spec: Tuple) -> Dict[str, Any]:
     *spec* is ``(figure, fn, params)``, optionally extended with a
     fourth element — the ambient :class:`~repro.faults.FaultPlan` as a
     dict (or None) — a fifth: the simulation mode the point must run
-    under (see :func:`repro.sim.flow.simulation_mode`) — and a sixth:
-    the ambient :class:`~repro.cache.CacheConfig` as a dict (or None).
-    The executor ships them when set, so pool workers — separate
-    processes that never saw the parent's ambient state — reinstall
-    the same plan, mode, and cache configuration.
+    under (see :func:`repro.sim.flow.simulation_mode`) — a sixth: the
+    ambient :class:`~repro.cache.CacheConfig` as a dict (or None) —
+    and a seventh: the ambient
+    :class:`~repro.datacutter.scheduling.ReplicationPolicy` as a dict
+    (or None).  The executor ships them when set, so pool workers —
+    separate processes that never saw the parent's ambient state —
+    reinstall the same plan, mode, cache configuration, and
+    replication policy.
     """
     from repro.bench.figures import POINT_FNS
     from repro.bench.runner import TraceAggregator
     from repro.cache import CacheConfig, configured
+    from repro.datacutter.scheduling import ReplicationPolicy, replicating
     from repro.faults import FaultPlan, injecting
     from repro.sim.core import global_events_processed
     from repro.sim.flow import simulation_mode
@@ -139,14 +143,17 @@ def execute_point(spec: Tuple) -> Dict[str, Any]:
     plan_dict = spec[3] if len(spec) > 3 else None
     mode = spec[4] if len(spec) > 4 else None
     cfg_dict = spec[5] if len(spec) > 5 else None
+    rep_dict = spec[6] if len(spec) > 6 else None
     plan = None if plan_dict is None else FaultPlan.from_dict(plan_dict)
     cache_cfg = None if cfg_dict is None else CacheConfig.from_dict(cfg_dict)
+    policy = (None if rep_dict is None
+              else ReplicationPolicy.from_dict(rep_dict))
     agg = TraceAggregator()
     tracer = Tracer()
     tracer.subscribe("", agg)
     before = global_events_processed()
     with simulation_mode(mode), injecting(plan), configured(cache_cfg), \
-            tracing(tracer, record=False):
+            replicating(policy), tracing(tracer, record=False):
         value = POINT_FNS[fn](**params)
     return {
         "value": json.loads(json.dumps(value)),
@@ -241,6 +248,9 @@ class SweepExecutor:
                      f"{len(pending)} to run (jobs={self.jobs})")
         if pending:
             from repro.cache import active_cache_config
+            from repro.datacutter.scheduling import (
+                active_replication_policy,
+            )
             from repro.faults import active_plan
             from repro.sim.flow import resolve_sim_mode
 
@@ -251,10 +261,13 @@ class SweepExecutor:
             mode = resolve_sim_mode()
             cache_cfg = active_cache_config()
             cfg_dict = None if cache_cfg is None else cache_cfg.to_dict()
-            if mode == "packet" and plan_dict is None and cfg_dict is None:
+            policy = active_replication_policy()
+            rep_dict = None if policy is None else policy.to_dict()
+            if (mode == "packet" and plan_dict is None
+                    and cfg_dict is None and rep_dict is None):
                 extra = ()  # default state: keep the legacy 3-tuple spec
             else:
-                extra = (plan_dict, mode, cfg_dict)
+                extra = (plan_dict, mode, cfg_dict, rep_dict)
             specs = [(points[i].figure, points[i].fn, dict(points[i].params))
                      + extra
                      for i in pending]

@@ -58,6 +58,7 @@ from repro.bench.microbench import (
 from repro.bench.records import ExperimentTable, ratio
 from repro.bench.servebench import serve_cell, serve_scale_cell
 from repro.sim.partition import serve_shard_cell
+from repro.bench.tailsbench import tails_cell
 from repro.bench.wancachebench import wcb_cell, wcq_cell
 from repro.cluster.hetero import RandomSlowdown, StaticSlowdown
 from repro.net.calibration import get_model
@@ -1081,4 +1082,5 @@ POINT_FNS: Dict[str, Any] = {
     "serve_shard_cell": serve_shard_cell,
     "wcq_cell": wcq_cell,
     "wcb_cell": wcb_cell,
+    "tails_cell": tails_cell,
 }

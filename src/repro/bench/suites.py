@@ -49,6 +49,7 @@ def _panel_specs() -> Dict[str, tuple]:
     """
     from repro.bench import figures as f
     from repro.bench import servebench as sb
+    from repro.bench import tailsbench as tb
     from repro.bench import wancachebench as wb
 
     return {
@@ -120,6 +121,18 @@ def _panel_specs() -> Dict[str, tuple]:
         "wcb": (wb.wcb_sweep, wb.wcb_points, {},
                 {"widths": [1, 4], "n_blocks": 24,
                  "block_bytes": 128 * 1024}),
+        # Replicated-dispatch panels (repro.bench.tailsbench): latency
+        # percentiles and the cost/conservation ledger per fault plan x
+        # replication factor.  Both panels share one point per cell, so
+        # tlc resolves from tls's cache entries.  Quick mode drops k=3
+        # and shrinks the query schedule — CI's tails-smoke job runs
+        # exactly those axes; the straggler preset's fault windows
+        # repeat every 25 ms, so the quick horizon (~37 ms) still sees
+        # both straggler mechanisms.
+        "tls": (tb.tls_sweep, tb.tls_points, {},
+                {"ks": [1, 2], "n_queries": 120}),
+        "tlc": (tb.tlc_sweep, tb.tlc_points, {},
+                {"ks": [1, 2], "n_queries": 120}),
     }
 
 
@@ -221,7 +234,7 @@ RUNTIME_HINT = {
     "c11": "~10 s", "kernel": "~5 s", "queues": "~30 s",
     "sweep": "~2 min", "fluid": "~5 s", "serve": "~1 min",
     "serve_scale": "~30 s", "serve_par": "~2 min",
-    "wcq": "~30 s", "wcb": "~15 s",
+    "wcq": "~30 s", "wcb": "~15 s", "tls": "~10 s", "tlc": "~1 s",
 }
 
 
@@ -1236,6 +1249,112 @@ def _wancache_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
     return claims
 
 
+# ---------------------------------------------------------------------------
+# tails — replicated dispatch under straggler plans (repro.bench.tailsbench)
+# ---------------------------------------------------------------------------
+
+
+def _tails_cell(table: ExperimentTable, plan: str, k: int, col: str):
+    for row in _serve_rows(table):
+        if row["plan"] == plan and row["k"] == k:
+            return row[col]
+    return None
+
+
+def _tails_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
+    anchors: List[Anchor] = []
+    tls = tables.get("tls")
+    if tls is not None:
+        k1 = _tails_cell(tls, "straggler", 1, "TCP_p999_ms")
+        k2 = _tails_cell(tls, "straggler", 2, "TCP_p999_ms")
+        sv1 = _tails_cell(tls, "straggler", 1, "SocketVIA_p999_ms")
+        sv2 = _tails_cell(tls, "straggler", 2, "SocketVIA_p999_ms")
+        anchors += [
+            Anchor("tails_tcp_p999_k1_ms",
+                   "TCP p999 query latency under the straggler preset, "
+                   "unreplicated (deterministic)",
+                   k1, group="tls", unit="ms"),
+            Anchor("tails_tcp_p999_k2_ms",
+                   "TCP p999 query latency under the straggler preset "
+                   "with k=2 hedged replication (deterministic)",
+                   k2, group="tls", unit="ms"),
+            Anchor("tails_tcp_p999_cut",
+                   "k=2 p999 cut under stragglers, TCP (gate is >= 2x)",
+                   ratio(k1, k2), group="tls", unit="x"),
+            Anchor("tails_sv_p999_cut",
+                   "k=2 p999 cut under stragglers, SocketVIA",
+                   ratio(sv1, sv2), group="tls", unit="x"),
+        ]
+    tlc = tables.get("tlc")
+    if tlc is not None:
+        w1 = _tails_cell(tlc, "none", 1, "TCP_work_ms")
+        w2 = _tails_cell(tlc, "none", 2, "TCP_work_ms")
+        anchors += [
+            Anchor("tails_overhead_ratio",
+                   "no-fault executed-work ratio k=2 over k=1, TCP "
+                   "(gate is <= 1.15x)",
+                   ratio(w2, w1), group="tlc", unit="x"),
+        ]
+    return anchors
+
+
+def _tails_claims(tables: Dict[str, ExperimentTable]) -> List[Claim]:
+    claims: List[Claim] = []
+    tls = tables.get("tls")
+    if tls is not None:
+        tcp1 = _tails_cell(tls, "straggler", 1, "TCP_p999_ms")
+        tcp2 = _tails_cell(tls, "straggler", 2, "TCP_p999_ms")
+        sv1 = _tails_cell(tls, "straggler", 1, "SocketVIA_p999_ms")
+        sv2 = _tails_cell(tls, "straggler", 2, "SocketVIA_p999_ms")
+        claims += [
+            Claim("tails_tcp_p999_2x",
+                  "k=2 hedged replication cuts the TCP p999 under the "
+                  "straggler preset by >= 2x",
+                  tcp1 is not None and tcp2 is not None
+                  and tcp1 >= 2.0 * tcp2, "tls"),
+            Claim("tails_sv_p999_2x",
+                  "k=2 hedged replication cuts the SocketVIA p999 "
+                  "under the straggler preset by >= 2x",
+                  sv1 is not None and sv2 is not None
+                  and sv1 >= 2.0 * sv2, "tls"),
+        ]
+    tlc = tables.get("tlc")
+    if tlc is not None:
+        rows = _serve_rows(tlc)
+        overhead_ok = True
+        for col in ("SocketVIA_work_ms", "TCP_work_ms"):
+            w1 = _tails_cell(tlc, "none", 1, col)
+            w2 = _tails_cell(tlc, "none", 2, col)
+            if w1 is None or w2 is None or w2 > 1.15 * w1:
+                overhead_ok = False
+        claims += [
+            Claim("tails_overhead_115",
+                  "hedged k=2 costs <= 1.15x the unreplicated executed "
+                  "work in the no-fault case, both transports",
+                  overhead_ok, "tlc"),
+            Claim("tails_conservation_exact",
+                  "replica conservation is exact in every cell: "
+                  "completed == dispatched - retracted, both transports",
+                  bool(rows) and all(
+                      r[f"{p}_completed"]
+                      == r[f"{p}_dispatched"] - r[f"{p}_retracted"]
+                      for r in rows for p in ("SocketVIA", "TCP")),
+                  "tlc"),
+            Claim("tails_replication_engages",
+                  "replication actually engages under stragglers: some "
+                  "k=2 replicas are retracted (first finisher won), "
+                  "and unreplicated rows retract none",
+                  all(r[f"{p}_retracted"] == 0
+                      for r in rows for p in ("SocketVIA", "TCP")
+                      if r["k"] == 1)
+                  and any(r[f"{p}_retracted"] > 0
+                          for r in rows for p in ("SocketVIA", "TCP")
+                          if r["k"] >= 2 and r["plan"] == "straggler"),
+                  "tlc"),
+        ]
+    return claims
+
+
 def _no_anchors(tables: Dict[str, ExperimentTable]) -> List[Anchor]:
     return []
 
@@ -1283,6 +1402,10 @@ SUITES: Dict[str, BenchSuite] = {
                    "cache temperature, striped bulk throughput",
                    ("wcq", "wcb"),
                    _wancache_anchors, _wancache_claims),
+        BenchSuite("tails", "Replicated dispatch for tail latency: "
+                   "percentiles and conservation under straggler plans",
+                   ("tls", "tlc"),
+                   _tails_anchors, _tails_claims),
     )
 }
 

@@ -1,0 +1,238 @@
+"""The ``tails`` suite: replicated dispatch under straggler plans.
+
+Two panels over the same cells (docs/TAILS.md):
+
+* ``tls`` — end-to-end query latency percentiles (p50 / p99 / p999,
+  exact nearest-rank over every query) for each fault plan x
+  replication factor, TCP vs SocketVIA side by side.  The headline
+  claim gates the k=2 p999 cut under the ``straggler`` preset at
+  >= 2x for TCP.
+* ``tlc`` — the cost and conservation ledger of the same runs:
+  executed worker core-time (winner compute plus cancelled-loser
+  partials), replicas dispatched / completed / retracted, and hedges
+  sent.  The overhead claim bounds no-fault k=2 executed work at
+  <= 1.15x the unreplicated run; the conservation claim requires
+  ``completed == dispatched - retracted`` exactly in every cell.
+
+Both panels decompose into the *same* cache-addressable points (one
+per plan x k x protocol — ``tlc`` reuses ``tls``'s entries), so
+``bench run tails --jobs N`` parallelizes per cell and reruns are
+cache hits.  Every column is simulated time or exact bookkeeping — no
+wall-clock columns — so the comparator gates the whole record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.apps.tails import TailsConfig, run_tails
+from repro.bench.executor import Point, PointPlan
+from repro.bench.records import ExperimentTable
+
+__all__ = [
+    "tails_cell",
+    "tls_sweep",
+    "tlc_sweep",
+    "tls_points",
+    "tlc_points",
+    "TAILS_PLANS",
+    "TAILS_KS",
+    "TAILS_WORKERS",
+    "TAILS_QUERIES",
+    "TAILS_RATE",
+    "TAILS_SEED",
+]
+
+#: Fault plans the panels sweep (presets in ``repro.faults.presets``).
+TAILS_PLANS = ("none", "straggler")
+#: Replication factors of the sweep.
+TAILS_KS = (1, 2, 3)
+TAILS_WORKERS = 6
+TAILS_QUERIES = 400
+#: Offered load (queries/s): ~0.8 utilization for TCP with protocol
+#: overhead, lower for SocketVIA — queues form but never diverge.
+TAILS_RATE = 3200.0
+TAILS_SEED = 29
+
+_PROTOCOLS = ("socketvia", "tcp")
+
+_TLS_NOTE = (
+    "open-loop Poisson queries, hedged replication (replica k>1 "
+    "dispatched only if the query is undecided hedge_us after "
+    "arrival); latency is collector arrival minus scheduled arrival; "
+    "percentiles are exact nearest-rank over every query"
+)
+_TLC_NOTE = (
+    "work_ms counts executed worker core-time including cancelled-"
+    "loser partials; conservation is exact per cell: completed == "
+    "dispatched - retracted"
+)
+
+
+def tails_cell(protocol: str, plan: str, k: int, n_workers: int,
+               n_queries: int, rate: float, seed: int) -> List[Any]:
+    """Point: one (protocol, fault plan, replication factor) run.
+
+    Returns ``[p50_ms, p99_ms, p999_ms, work_ms, dispatched,
+    completed, retracted, hedges]``.
+    """
+    from repro.faults.plan import injecting
+    from repro.faults.presets import get_preset
+
+    with injecting(get_preset(plan)):
+        result = run_tails(TailsConfig(
+            protocol=protocol,
+            k=int(k),
+            n_workers=int(n_workers),
+            n_queries=int(n_queries),
+            rate=float(rate),
+            seed=int(seed),
+        ))
+    return [
+        float(result.latency_percentile(50) * 1e3),
+        float(result.latency_percentile(99) * 1e3),
+        float(result.latency_percentile(99.9) * 1e3),
+        float(result.work_executed * 1e3),
+        int(result.dispatched),
+        int(result.completed),
+        int(result.retracted),
+        int(result.hedges_sent),
+    ]
+
+
+def _tls_table() -> ExperimentTable:
+    return ExperimentTable(
+        "tls",
+        "Query latency percentiles vs fault plan and replication factor",
+        ["plan", "k",
+         "SocketVIA_p50_ms", "TCP_p50_ms",
+         "SocketVIA_p99_ms", "TCP_p99_ms",
+         "SocketVIA_p999_ms", "TCP_p999_ms"],
+    )
+
+
+def _tlc_table() -> ExperimentTable:
+    return ExperimentTable(
+        "tlc",
+        "Replication cost and conservation ledger per plan and k",
+        ["plan", "k",
+         "SocketVIA_work_ms", "TCP_work_ms",
+         "SocketVIA_dispatched", "TCP_dispatched",
+         "SocketVIA_completed", "TCP_completed",
+         "SocketVIA_retracted", "TCP_retracted",
+         "SocketVIA_hedges", "TCP_hedges"],
+    )
+
+
+def _axis(plans, ks):
+    return [(plan, int(k)) for plan in plans for k in ks]
+
+
+def _tls_row(plan: str, k: int, sv: List[Any], tcp: List[Any]) -> List[Any]:
+    return [plan, k, sv[0], tcp[0], sv[1], tcp[1], sv[2], tcp[2]]
+
+
+def _tlc_row(plan: str, k: int, sv: List[Any], tcp: List[Any]) -> List[Any]:
+    return [plan, k, sv[3], tcp[3], sv[4], tcp[4], sv[5], tcp[5],
+            sv[6], tcp[6], sv[7], tcp[7]]
+
+
+def _points(plans, ks, n_workers, n_queries, rate, seed) -> List[Point]:
+    # Both panels share one point per cell (figure id "tls"), so the
+    # ``tlc`` plan resolves entirely from ``tls``'s cache entries.
+    return [
+        Point("tls", "tails_cell",
+              {"protocol": proto, "plan": plan, "k": int(k),
+               "n_workers": int(n_workers), "n_queries": int(n_queries),
+               "rate": float(rate), "seed": int(seed)})
+        for plan, k in _axis(plans, ks)
+        for proto in _PROTOCOLS
+    ]
+
+
+def tls_sweep(
+    plans=TAILS_PLANS,
+    ks=TAILS_KS,
+    n_workers: int = TAILS_WORKERS,
+    n_queries: int = TAILS_QUERIES,
+    rate: float = TAILS_RATE,
+    seed: int = TAILS_SEED,
+) -> ExperimentTable:
+    """The ``tls`` panel, serial path."""
+    table = _tls_table()
+    for plan, k in _axis(plans, ks):
+        cells = {
+            proto: tails_cell(proto, plan, k, n_workers, n_queries,
+                              rate, seed)
+            for proto in _PROTOCOLS
+        }
+        table.add_row(*_tls_row(plan, k, cells["socketvia"], cells["tcp"]))
+    table.add_note(_TLS_NOTE)
+    return table
+
+
+def tlc_sweep(
+    plans=TAILS_PLANS,
+    ks=TAILS_KS,
+    n_workers: int = TAILS_WORKERS,
+    n_queries: int = TAILS_QUERIES,
+    rate: float = TAILS_RATE,
+    seed: int = TAILS_SEED,
+) -> ExperimentTable:
+    """The ``tlc`` panel, serial path."""
+    table = _tlc_table()
+    for plan, k in _axis(plans, ks):
+        cells = {
+            proto: tails_cell(proto, plan, k, n_workers, n_queries,
+                              rate, seed)
+            for proto in _PROTOCOLS
+        }
+        table.add_row(*_tlc_row(plan, k, cells["socketvia"], cells["tcp"]))
+    table.add_note(_TLC_NOTE)
+    return table
+
+
+def tls_points(
+    plans=TAILS_PLANS,
+    ks=TAILS_KS,
+    n_workers: int = TAILS_WORKERS,
+    n_queries: int = TAILS_QUERIES,
+    rate: float = TAILS_RATE,
+    seed: int = TAILS_SEED,
+) -> PointPlan:
+    """``tls`` as one point per (plan, k, protocol)."""
+    axis = _axis(plans, ks)
+    points = _points(plans, ks, n_workers, n_queries, rate, seed)
+
+    def merge(values: List[Any]) -> ExperimentTable:
+        table = _tls_table()
+        for i, (plan, k) in enumerate(axis):
+            sv, tcp = values[2 * i], values[2 * i + 1]
+            table.add_row(*_tls_row(plan, k, sv, tcp))
+        table.add_note(_TLS_NOTE)
+        return table
+
+    return PointPlan("tls", points, merge)
+
+
+def tlc_points(
+    plans=TAILS_PLANS,
+    ks=TAILS_KS,
+    n_workers: int = TAILS_WORKERS,
+    n_queries: int = TAILS_QUERIES,
+    rate: float = TAILS_RATE,
+    seed: int = TAILS_SEED,
+) -> PointPlan:
+    """``tlc`` over the same points as ``tls`` (shared cache entries)."""
+    axis = _axis(plans, ks)
+    points = _points(plans, ks, n_workers, n_queries, rate, seed)
+
+    def merge(values: List[Any]) -> ExperimentTable:
+        table = _tlc_table()
+        for i, (plan, k) in enumerate(axis):
+            sv, tcp = values[2 * i], values[2 * i + 1]
+            table.add_row(*_tlc_row(plan, k, sv, tcp))
+        table.add_note(_TLC_NOTE)
+        return table
+
+    return PointPlan("tlc", points, merge)

@@ -19,6 +19,11 @@ Commands
     capacity report: offered/admitted/dropped counts, sustained
     throughput, exact p50/p99 latency per query kind, and admission
     queue stats.  The full sweep is ``bench run serve``.
+``tails``
+    Run one replicated-dispatch scenario (docs/TAILS.md) and print its
+    tail-latency report: exact p50/p99/p999, the replica conservation
+    ledger (dispatched/completed/retracted), hedge counts, and
+    executed work.  The full sweep is ``bench run tails``.
 ``bench run|compare|report|list``
     The benchmark harness: run experiment suites into schema-versioned
     ``BENCH_<experiment>.json`` records (``--jobs N`` fans the figure
@@ -192,6 +197,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"  cache: {stats['cache_hits']} hit(s), "
               f"{stats['cache_misses']} miss(es)")
     return 0
+
+
+def cmd_tails(args: argparse.Namespace) -> int:
+    from repro.apps.tails import TailsConfig, run_tails
+    from repro.faults.plan import injecting
+    from repro.faults.presets import get_preset
+    from repro.sim.flow import simulation_mode
+
+    try:
+        plan = get_preset(args.plan)
+    except Exception as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    config = TailsConfig(
+        protocol=args.protocol,
+        k=args.k,
+        cancel=args.cancel,
+        hedge_us=args.hedge_us,
+        n_workers=args.workers,
+        n_queries=args.queries,
+        rate=args.rate,
+        seed=args.seed,
+    )
+    with simulation_mode(args.mode), injecting(plan):
+        result = run_tails(config)
+    policy = result.policy
+    print(f"tails: {args.protocol} on {args.workers} workers, "
+          f"{args.queries} Poisson queries at {args.rate:g} q/s, "
+          f"plan={args.plan}")
+    print(f"  policy    : k={policy.k} cancel={policy.cancel} "
+          f"hedge_us={policy.hedge_us:g}")
+    print(f"  latency   : p50 {result.latency_percentile(50) * 1e3:.3f} ms, "
+          f"p99 {result.latency_percentile(99) * 1e3:.3f} ms, "
+          f"p999 {result.latency_percentile(99.9) * 1e3:.3f} ms")
+    print(f"  replicas  : dispatched {result.dispatched}, "
+          f"completed {result.completed}, retracted {result.retracted} "
+          f"(before start {result.retracted_before_start}, "
+          f"mid-compute {result.retracted_started})")
+    print(f"  hedges    : sent {result.hedges_sent}, "
+          f"skipped {result.hedges_skipped}, "
+          f"clamped {result.replication_clamped}")
+    print(f"  work      : {result.work_executed * 1e3:.3f} ms executed "
+          f"core-time, makespan {result.elapsed * 1e3:.3f} ms")
+    ok = "exact" if result.conservation_ok else "VIOLATED"
+    print(f"  conserved : completed == dispatched - retracted ({ok})")
+    return 0 if result.conservation_ok else 1
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -468,6 +519,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulation mode (default: REPRO_SIM_MODE "
                               "env or packet)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_tails = sub.add_parser(
+        "tails", help="run one replicated-dispatch tail-latency scenario"
+    )
+    p_tails.add_argument("--protocol", choices=("socketvia", "tcp"),
+                         default="socketvia")
+    p_tails.add_argument("--k", type=int, default=2,
+                         help="replicas per query (default 2)")
+    p_tails.add_argument("--cancel", choices=("lazy", "none"),
+                         default="lazy",
+                         help="loser handling: lazy kernel cancellation "
+                              "or run to completion (default lazy)")
+    p_tails.add_argument("--hedge-us", type=float, default=None,
+                         metavar="US", dest="hedge_us",
+                         help="hedge deadline in microseconds; 0 races "
+                              "all k replicas from dispatch (default: "
+                              "policy default, ~2x service time)")
+    p_tails.add_argument("--workers", type=int, default=6,
+                         help="worker copies (default 6)")
+    p_tails.add_argument("--queries", type=int, default=400,
+                         help="Poisson query count (default 400)")
+    p_tails.add_argument("--rate", type=float, default=3200.0,
+                         help="offered load in queries/s (default 3200)")
+    p_tails.add_argument("--plan", default="none", metavar="PRESET",
+                         help="fault preset (see 'faults list'; "
+                              "default none)")
+    p_tails.add_argument("--seed", type=int, default=29)
+    p_tails.add_argument("--mode", choices=("packet", "fluid", "auto"),
+                         default=None,
+                         help="simulation mode override (default: "
+                              "REPRO_SIM_MODE or auto)")
+    p_tails.set_defaults(func=cmd_tails)
 
     p_list = sub.add_parser("list", help="list available figures")
     p_list.set_defaults(func=cmd_list)

@@ -51,7 +51,7 @@ from repro.errors import DataCutterError
 from repro.sim import Event, SeriesRecorder, Tally
 from repro.sockets.factory import ProtocolAPI
 
-__all__ = ["UnitOfWork", "DataCutterRuntime", "AppInstance"]
+__all__ = ["UnitOfWork", "ReplicaSet", "DataCutterRuntime", "AppInstance"]
 
 #: First listener port used by filter-group instantiation.
 BASE_PORT = 6000
@@ -65,6 +65,29 @@ class UnitOfWork:
     payload: Any = None
     submitted_at: float = 0.0
     completed_at: Optional[float] = None
+    #: Consumer-copy indexes this unit was replicated to, in dispatch
+    #: order (empty for unreplicated units).
+    replicas: Tuple[int, ...] = ()
+    #: The replica that finished first, once one has.
+    winner: Optional[int] = None
+    #: True once the whole unit has been withdrawn (see :meth:`retract`).
+    retracted: bool = False
+    retracted_at: Optional[float] = None
+
+    def retract(self, at: Optional[float] = None) -> bool:
+        """Withdraw the unit: a retracted unit never emits downstream
+        (output ports consult the retraction guard — see
+        :class:`repro.datacutter.streams.OutputPort`).
+
+        Retraction after completion is a **no-op** returning False: the
+        unit's result already exists, so there is nothing to withdraw.
+        Idempotent — a second retraction also returns False.
+        """
+        if self.completed_at is not None or self.retracted:
+            return False
+        self.retracted = True
+        self.retracted_at = at
+        return True
 
     @property
     def elapsed(self) -> float:
@@ -72,6 +95,139 @@ class UnitOfWork:
         if self.completed_at is None:
             raise DataCutterError(f"UOW {self.uow_id} not completed yet")
         return self.completed_at - self.submitted_at
+
+
+class ReplicaSet:
+    """First-finisher bookkeeping for one replicated unit of work.
+
+    The :class:`ReplicationPolicy
+    <repro.datacutter.scheduling.ReplicationPolicy>` lifecycle
+    (docs/TAILS.md): the dispatcher reserves k distinct copies with
+    ``scheduler.acquire_k``, records them here via :meth:`add_replica`,
+    and sends the unit to each.  Workers :meth:`arm` their in-flight
+    compute timer so the set can tear it down, and call
+    :meth:`complete` when done — the **first** call wins (the kernel's
+    deterministic ``(time, priority, seq)`` event order is the
+    tie-break: equal finish times resolve by dispatch sequence, never
+    by hash order or interleaving luck).  Completion retracts every
+    loser: queued replicas are flagged so the worker skips them on
+    dequeue, and in-flight compute is torn down with the kernel's lazy
+    ``Event.cancel`` (an O(1) tombstone) plus a loss notification the
+    worker races against its own timer.
+
+    A replica retracted once stays retracted: its :meth:`complete` is
+    refused, so a crashed copy replaying its backlog can never
+    resurrect a unit the winner already settled.
+
+    Conservation is auditable per set: ``len(replicas) ==
+    (1 if winner is not None else 0) + len(retracted)`` once decided —
+    summed over sets this is the tails suite's
+    ``completed == dispatched − retracted`` claim.
+    """
+
+    __slots__ = ("sim", "uow", "replicas", "winner", "done", "started",
+                 "retracted", "_inflight", "_lose")
+
+    def __init__(self, sim, uow: UnitOfWork) -> None:
+        self.sim = sim
+        self.uow = uow
+        self.replicas: List[int] = []
+        self.winner: Optional[int] = None
+        #: Succeeds with the winner index (or ``None`` on whole-unit
+        #: retraction) when the unit is decided.
+        self.done = Event(sim)
+        #: Replicas that began compute (diagnostics: a retraction of a
+        #: started replica is the expensive kind).
+        self.started: set = set()
+        #: Replica indexes withdrawn from the race.
+        self.retracted: set = set()
+        self._inflight: Dict[int, Event] = {}
+        self._lose: Dict[int, Event] = {}
+
+    @property
+    def decided(self) -> bool:
+        """True once a winner exists or the unit was retracted whole."""
+        return self.winner is not None or self.uow.retracted
+
+    def add_replica(self, idx: int) -> None:
+        """Record one dispatched replica (slot already reserved)."""
+        self.replicas.append(idx)
+        self.uow.replicas = tuple(self.replicas)
+
+    def lose_event(self, idx: int) -> Event:
+        """The loss notification replica *idx* races its compute
+        against (created lazily; succeeds at most once)."""
+        ev = self._lose.get(idx)
+        if ev is None:
+            ev = self._lose[idx] = Event(self.sim)
+        return ev
+
+    def arm(self, idx: int, cancellable: Event) -> None:
+        """Register replica *idx*'s in-flight compute event so a loss
+        tears it down (lazy ``Event.cancel``)."""
+        self.started.add(idx)
+        self._inflight[idx] = cancellable
+
+    def disarm(self, idx: int) -> None:
+        self._inflight.pop(idx, None)
+
+    def complete(self, idx: int) -> bool:
+        """Replica *idx* finished.  Returns True exactly once per unit
+        — for the first finisher — and retracts every other replica.
+        Refused (False) for losers, late finishers, retracted replicas
+        and retracted units."""
+        if self.winner is not None or self.uow.retracted:
+            return False
+        if idx in self.retracted:
+            return False
+        self.winner = idx
+        self.uow.winner = idx
+        self.uow.completed_at = self.sim.now
+        self.done.succeed(idx)
+        for j in self.replicas:
+            if j != idx:
+                self._retract_replica(j)
+        return True
+
+    def retract(self, idx: Optional[int] = None) -> bool:
+        """Withdraw replica *idx*, or with ``idx=None`` the whole unit
+        (every replica plus the unit itself).  After a completion both
+        forms are no-ops returning False."""
+        if idx is None:
+            if not self.uow.retract(at=self.sim.now):
+                return False
+            for j in self.replicas:
+                self._retract_replica(j)
+            if not self.done.triggered:
+                self.done.succeed(None)
+            return True
+        if idx == self.winner:
+            return False
+        return self._retract_replica(idx)
+
+    def _retract_replica(self, idx: int) -> bool:
+        if idx in self.retracted:
+            return False
+        self.retracted.add(idx)
+        ev = self._inflight.pop(idx, None)
+        if ev is not None and ev.triggered and not ev.processed:
+            ev.cancel()  # lazy kernel tombstone (PR 3): O(1), no wakeup
+        lose = self._lose.get(idx)
+        if lose is not None and not lose.triggered:
+            lose.succeed("retracted")
+        return True
+
+    def counts(self) -> Dict[str, int]:
+        """``{dispatched, completed, retracted}`` for this set."""
+        return {
+            "dispatched": len(self.replicas),
+            "completed": 1 if self.winner is not None else 0,
+            "retracted": len(self.retracted),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ReplicaSet uow={self.uow.uow_id} replicas={self.replicas} "
+                f"winner={self.winner} retracted={sorted(self.retracted)}>")
 
 
 @dataclass

@@ -31,9 +31,14 @@ is *refused and counted* instead of growing an unbounded backlog.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from bisect import bisect_left, insort
 from collections import deque
-from typing import Any, Deque, Dict, Generator, List, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (Any, Deque, Dict, Generator, Iterable, List, Optional,
+                    Set)
 
 from repro.errors import DataCutterError
 from repro.sim import Event, Simulator
@@ -45,9 +50,117 @@ __all__ = [
     "DemandDrivenScheduler",
     "make_scheduler",
     "AdmissionQueue",
+    "ReplicationPolicy",
+    "active_replication_policy",
+    "active_replication_fingerprint",
+    "set_active_replication_policy",
+    "replicating",
 ]
 
 DEFAULT_MAX_OUTSTANDING = 2
+
+#: Loser-cancellation modes (docs/TAILS.md):
+#: ``lazy`` — losers are cancelled the moment a winner is decided:
+#: queued replicas are retracted before they start and in-flight
+#: compute is torn down through the kernel's lazy ``Event.cancel``
+#: (an O(1) heap tombstone, PR 3);
+#: ``none`` — losers run to completion and are retracted only when they
+#: try to finish (the ablation that measures what cancellation saves).
+CANCEL_MODES = ("lazy", "none")
+
+
+@dataclass(frozen=True)
+class ReplicationPolicy:
+    """Replicated dispatch: send each unit of work to *k* copies, take
+    the first finisher (RepNet's recipe, restated at the filter layer).
+
+    ``hedge_us`` staggers the duplicates: replica 0 is dispatched
+    immediately and replicas 1..k-1 only if the unit is still undecided
+    ``hedge_us`` microseconds later — Dean's hedged request, which buys
+    the tail recovery of replication at a fraction of the duplicate
+    load.  ``hedge_us=0`` races all k replicas from the start (the
+    configuration the determinism tests exercise); ``None`` means "no
+    hedging" and is treated as 0 by the tails scenario.
+
+    Like :class:`repro.cache.config.CacheConfig`, a policy can be
+    installed *ambiently* (:func:`replicating`) so scenario builders
+    fill unset knobs from it and the sweep-result cache partitions on
+    :func:`active_replication_fingerprint`.
+    """
+
+    k: int = 1
+    cancel: str = "lazy"
+    hedge_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"replication factor k must be >= 1, got {self.k}")
+        if self.cancel not in CANCEL_MODES:
+            raise ValueError(
+                f"cancel must be one of {CANCEL_MODES}, got {self.cancel!r}"
+            )
+        if self.hedge_us is not None and self.hedge_us < 0:
+            raise ValueError(f"hedge_us must be >= 0, got {self.hedge_us}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "k": int(self.k),
+            "cancel": self.cancel,
+            "hedge_us": None if self.hedge_us is None else float(self.hedge_us),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ReplicationPolicy":
+        hedge = d.get("hedge_us")
+        return cls(
+            k=int(d.get("k", 1)),
+            cancel=d.get("cancel", "lazy"),
+            hedge_us=None if hedge is None else float(hedge),
+        )
+
+    def fingerprint(self) -> str:
+        """Short content hash of the canonical form (cache-key field)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# -- ambient installation (mirrors repro.cache.config) -------------------------
+
+_active_policy: Optional[ReplicationPolicy] = None
+
+
+def active_replication_policy() -> Optional[ReplicationPolicy]:
+    """The ambiently installed replication policy, or None."""
+    return _active_policy
+
+
+def active_replication_fingerprint() -> Optional[str]:
+    """Fingerprint of the ambient policy, or None when none is
+    installed — the value the sweep-result cache keys on."""
+    if _active_policy is None:
+        return None
+    return _active_policy.fingerprint()
+
+
+def set_active_replication_policy(
+    policy: Optional[ReplicationPolicy],
+) -> Optional[ReplicationPolicy]:
+    """Install *policy* ambiently; returns the previous one."""
+    global _active_policy
+    previous = _active_policy
+    _active_policy = policy
+    return previous
+
+
+@contextmanager
+def replicating(policy: Optional[ReplicationPolicy]):
+    """Ambiently install *policy* for the duration of the block."""
+    previous = set_active_replication_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_active_replication_policy(previous)
 
 
 class WriteScheduler:
@@ -87,6 +200,13 @@ class WriteScheduler:
         self.dead: List[bool] = [False] * n_consumers
         #: Buffers written off by mark_dead(drop_outstanding=True).
         self.lost_counts: List[int] = [0] * n_consumers
+        #: acquire_k calls that returned fewer than the k asked for
+        #: (not enough distinct live copies): replication degrades,
+        #: never raises.
+        self.replication_clamped = 0
+        #: Slots reserved by acquire()/acquire_k() and released unsent
+        #: via cancel_reservation() (hedges decided before dispatch).
+        self.reservations_cancelled = 0
         # Liveness as a counter so the all-dead check in acquire() is
         # O(1) instead of an O(n_consumers) scan per buffer.
         self._n_dead = 0
@@ -112,6 +232,81 @@ class WriteScheduler:
             waiter = Event(self.sim)
             self._waiters.append(waiter)
             yield waiter
+
+    def acquire_k(
+        self, k: int, exclude: Iterable[int] = ()
+    ) -> Generator[Event, Any, List[int]]:
+        """Reserve slots on *k* **distinct** live copies; returns their
+        indexes in pick order (least-loaded first under DD).
+
+        The replicated-dispatch primitive (:class:`ReplicationPolicy`):
+        each returned index holds one reserved slot, exactly as after
+        :meth:`acquire`.  Copies in *exclude* — typically the replicas a
+        unit of work already has — are never picked, so a host holding
+        one replica of a unit is never handed a second one (and the DD
+        bucket index never double-counts it).
+
+        When fewer than *k* distinct live copies exist the call
+        *degrades*: it returns what it could reserve (possibly an empty
+        list when *exclude* covers every live copy) and counts one
+        ``replication_clamped``.  It blocks — like :meth:`acquire` —
+        only while eligible copies exist but all their slots are in
+        use.  Raises only when every copy is dead.
+        """
+        if k < 1:
+            raise DataCutterError(f"acquire_k needs k >= 1, got {k}")
+        picked: List[int] = []
+        barred: Set[int] = {
+            i for i in exclude if 0 <= i < self.n_consumers
+        }
+        while True:
+            live = self.n_consumers - self._n_dead
+            if live == 0 and not picked:
+                raise DataCutterError(
+                    "all consumer copies are dead; cannot place buffer"
+                )
+            barred_live = sum(1 for i in barred if not self.dead[i])
+            target = min(k, len(picked) + max(0, live - barred_live))
+            if len(picked) >= target:
+                if len(picked) < k:
+                    self.replication_clamped += 1
+                return picked
+            idx = self._pick_excluding(barred)
+            if idx is not None:
+                self.unacked[idx] += 1
+                self.sent_counts[idx] += 1
+                self.last_send_at[idx] = self.sim.now
+                self._on_slots_changed(idx)
+                picked.append(idx)
+                barred.add(idx)
+                continue
+            waiter = Event(self.sim)
+            self._waiters.append(waiter)
+            yield waiter
+
+    def cancel_reservation(self, idx: int) -> None:
+        """Release a slot reserved by :meth:`acquire`/:meth:`acquire_k`
+        on which nothing was (or will be) sent — a hedge replica whose
+        unit was decided before its dispatch fired.  The send is
+        uncounted and no ack-delay sample is recorded, so scheduler
+        statistics only ever describe buffers that hit the wire."""
+        if not 0 <= idx < self.n_consumers:
+            raise DataCutterError(f"cancel_reservation on unknown consumer {idx}")
+        if self.unacked[idx] > 0:
+            self.unacked[idx] -= 1
+        elif self.lost_counts[idx] > 0:
+            # The slot was already written off by
+            # mark_dead(drop_outstanding=True); un-write it off.
+            self.lost_counts[idx] -= 1
+        else:
+            raise DataCutterError(
+                f"consumer {idx} has no reservation to cancel"
+            )
+        if self.sent_counts[idx] > 0:
+            self.sent_counts[idx] -= 1
+        self.reservations_cancelled += 1
+        self._on_slots_changed(idx)
+        self._wake()
 
     def on_ack(self, idx: int) -> None:
         """A consumer acknowledged one buffer (it started processing)."""
@@ -168,6 +363,23 @@ class WriteScheduler:
 
     def _pick(self) -> Optional[int]:
         raise NotImplementedError
+
+    def _pick_excluding(self, barred: Set[int]) -> Optional[int]:
+        """An eligible copy outside *barred*, or ``None`` to wait.
+
+        Replica picks are demand-driven whatever the stream's base
+        policy: the reference implementation scans for the minimum
+        unacknowledged count (lowest index on ties).
+        :class:`DemandDrivenScheduler` overrides it with its bucket
+        index so the pick stays O(log n) and rotation-fair.
+        """
+        best: Optional[int] = None
+        for i in range(self.n_consumers):
+            if i in barred or not self._has_room(i):
+                continue
+            if best is None or self.unacked[i] < self.unacked[best]:
+                best = i
+        return best
 
     def _on_slots_changed(self, idx: int) -> None:
         """Hook: copy *idx*'s eligibility or unacked count changed.
@@ -247,6 +459,23 @@ class DemandDrivenScheduler(WriteScheduler):
                 idx = bucket[pos] if pos < len(bucket) else bucket[0]
                 self._rotation = (idx + 1) % self.n_consumers
                 return idx
+        return None
+
+    def _pick_excluding(self, barred: Set[int]) -> Optional[int]:
+        # Same bucket walk as _pick, skipping barred copies: a bucket
+        # consisting entirely of copies that already hold a replica of
+        # this unit falls through to the next count — the index never
+        # double-counts a copy toward one unit's replica set.
+        for bucket in self._buckets:
+            n = len(bucket)
+            if not n:
+                continue
+            pos = bisect_left(bucket, self._rotation)
+            for off in range(n):
+                idx = bucket[(pos + off) % n]
+                if idx not in barred:
+                    self._rotation = (idx + 1) % self.n_consumers
+                    return idx
         return None
 
 

@@ -18,7 +18,7 @@ producer copy and every consumer copy:
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.datacutter.buffers import (
     ACK_BYTES,
@@ -52,6 +52,13 @@ class OutputPort:
         self.connections: List[Optional[BaseSocket]] = [None] * scheduler.n_consumers
         self.buffers_written = 0
         self.bytes_written = 0
+        #: Retraction guard (replicated dispatch, docs/TAILS.md): when
+        #: set, ``fn(uow_id) -> bool`` is consulted before every
+        #: transmit and a True verdict suppresses the buffer — a
+        #: retracted unit never emits downstream, whichever copy tries.
+        self.retraction: Optional[Callable[[int], bool]] = None
+        #: Buffers suppressed by the retraction guard.
+        self.buffers_retracted = 0
         self._closed = False
 
     def attach(self, consumer_index: int, sock: BaseSocket) -> None:
@@ -62,11 +69,34 @@ class OutputPort:
             "ack", lambda kind, payload, size: self.scheduler.on_ack(consumer_index)
         )
 
-    def write(self, buffer: DataBuffer) -> Generator[Event, Any, int]:
-        """Schedule and transmit one buffer; returns the consumer index."""
+    def write(self, buffer: DataBuffer) -> Generator[Event, Any, Optional[int]]:
+        """Schedule and transmit one buffer; returns the consumer index
+        (or ``None`` when the retraction guard suppressed it)."""
         if self._closed:
             raise StreamClosedError(f"write on closed stream {self.stream_name!r}")
+        if self.retraction is not None and self.retraction(buffer.uow_id):
+            self.buffers_retracted += 1
+            return None
         idx = yield from self.scheduler.acquire()
+        yield from self._transmit(idx, buffer)
+        return idx
+
+    def write_to(self, idx: int, buffer: DataBuffer) -> Generator[Event, Any, bool]:
+        """Transmit one buffer to consumer copy *idx*, whose slot the
+        caller already reserved (``scheduler.acquire_k`` — replicated
+        dispatch).  A buffer the retraction guard suppresses releases
+        the reservation instead of transmitting; returns whether the
+        buffer actually went out."""
+        if self._closed:
+            raise StreamClosedError(f"write on closed stream {self.stream_name!r}")
+        if self.retraction is not None and self.retraction(buffer.uow_id):
+            self.scheduler.cancel_reservation(idx)
+            self.buffers_retracted += 1
+            return False
+        yield from self._transmit(idx, buffer)
+        return True
+
+    def _transmit(self, idx: int, buffer: DataBuffer) -> Generator[Event, Any, None]:
         sock = self.connections[idx]
         assert sock is not None, "stream used before connection setup"
         yield from sock.send_message(
@@ -74,7 +104,6 @@ class OutputPort:
         )
         self.buffers_written += 1
         self.bytes_written += buffer.size
-        return idx
 
     def send_eow(self, uow_id: int) -> Generator[Event, Any, None]:
         """Broadcast the end-of-work marker to every consumer copy."""

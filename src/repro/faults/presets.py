@@ -74,6 +74,55 @@ BROWNOUT = FaultPlan(
     },
 )
 
+#: Straggler plan for the replicated-dispatch (``tails``) scenario:
+#: the two classic straggler mechanisms, each on its own worker and
+#: staggered in time so at any instant at most one worker straggles
+#: (a hedged replica therefore has a healthy copy to land on).  One
+#: worker's inbound link flaps on a duty cycle — a 10 ms delivery
+#: blackout (queries buffer on the wire, then replay in order) at the
+#: top of every 25 ms — and another browns out, computing 8x slower
+#: during 8 ms windows placed in the flap gaps.  Windows repeat across
+#: both the quick (~30 ms) and full (~100 ms) tails horizons, so CI
+#: exercises both mechanisms.
+#: Unreplicated (k=1) queries caught behind either straggler stall for
+#: many milliseconds; hedged replicas (k>=2) reroute them to a healthy
+#: copy — the tails suite's p999 claim measures exactly that rescue.
+STRAGGLER = FaultPlan(
+    name="straggler",
+    seed=17,
+    links={
+        "clan.tworker02.down": LinkFault(
+            flap_windows=tuple(
+                (0.025 * k + 0.002, 0.025 * k + 0.012) for k in range(8)
+            ),
+        ),
+    },
+    hosts={
+        "tworker01": HostFault(
+            slowdown_windows=tuple(
+                (0.025 * k + 0.014, 0.025 * k + 0.022, 8.0)
+                for k in range(8)
+            ),
+        ),
+    },
+)
+
+#: Example slowdown-only straggler (not benched): the brownout half of
+#: :data:`STRAGGLER` alone, for isolating compute stragglers from
+#: delivery stragglers when exploring replication policies by hand.
+STRAGGLER_SLOW = FaultPlan(
+    name="straggler-slow",
+    seed=19,
+    hosts={
+        "tworker01": HostFault(
+            slowdown_windows=tuple(
+                (0.025 * k + 0.014, 0.025 * k + 0.022, 8.0)
+                for k in range(8)
+            ),
+        ),
+    },
+)
+
 #: Example lossy-control plan (not benched): 30% loss on one host's
 #: receive side — pair with a transport ``RetryPolicy`` so connection
 #: handshakes survive via retransmission.  Dropping kernel-TCP *data*
@@ -88,7 +137,15 @@ LOSSY_CONNECT = FaultPlan(
 
 PRESETS: Dict[str, FaultPlan] = {
     plan.name: plan
-    for plan in (NONE, CHAOS_FIG8, CHAOS_FIG11, BROWNOUT, LOSSY_CONNECT)
+    for plan in (
+        NONE,
+        CHAOS_FIG8,
+        CHAOS_FIG11,
+        BROWNOUT,
+        STRAGGLER,
+        STRAGGLER_SLOW,
+        LOSSY_CONNECT,
+    )
 }
 
 

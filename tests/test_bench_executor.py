@@ -18,7 +18,7 @@ import subprocess
 import pytest
 
 from repro.bench import cache as cache_mod
-from repro.bench import figures, servebench, wancachebench
+from repro.bench import figures, servebench, tailsbench, wancachebench
 from repro.bench.cache import ResultCache, code_fingerprint
 from repro.bench.executor import (
     SweepExecutor,
@@ -85,6 +85,14 @@ CASES = {
     "wcb": (wancachebench.wcb_sweep, wancachebench.wcb_points,
             {"widths": [1, 2], "n_blocks": 12,
              "block_bytes": 64 * 1024}),
+    # tails panels: replicated dispatch + fault plans ride in the point
+    # params, and tlc shares tls's cache entries — both the retraction
+    # machinery and the cross-panel point reuse must stay bit-identical
+    # across serial / jobs=2 / cached execution.
+    "tls": (tailsbench.tls_sweep, tailsbench.tls_points,
+            {"ks": [1, 2], "n_queries": 60}),
+    "tlc": (tailsbench.tlc_sweep, tailsbench.tlc_points,
+            {"ks": [1, 2], "n_queries": 60}),
 }
 
 

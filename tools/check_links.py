@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""Relative-link checker for the repo's Markdown docs.
+"""Relative-link and anchor checker for the repo's Markdown docs.
 
 Walks ``README.md`` plus every ``docs/*.md`` (and any extra paths given
 on the command line), extracts Markdown link and image targets, and
-verifies that each *relative* target resolves to an existing file or
-directory.  External schemes (``http(s)://``, ``mailto:``) and
-pure-fragment links (``#section``) are skipped; a fragment on a
-relative target is stripped before the existence check.
+verifies that
 
-Inline code spans and fenced code blocks are ignored, so
-``[i]`` -style indexing in snippets never false-positives.
+* each *relative* target resolves to an existing file or directory, and
+* each ``#fragment`` — pure (``#section``, same file) or attached to a
+  relative ``.md`` target (``API.md#cli``) — names a real heading in
+  the target file, using GitHub's heading→anchor slug rules (lowercase,
+  punctuation stripped, spaces→hyphens, ``-N`` suffixes on duplicates).
 
-Exit status: 0 when every link resolves, 1 otherwise (one line per
-broken link: ``file:line: broken link -> target``).  CI runs this on
-every push; locally: ``python tools/check_links.py``.
+External schemes (``http(s)://``, ``mailto:``) are skipped.  Inline
+code spans and fenced code blocks are ignored, so ``[i]``-style
+indexing in snippets never false-positives, and headings inside fences
+do not mint anchors.
+
+Exit status: 0 when every link and anchor resolves, 1 otherwise (one
+line per problem: ``file:line: broken link -> target`` or
+``file:line: broken anchor -> target``).  CI runs this on every push;
+locally: ``python tools/check_links.py``.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 #: ``[text](target)`` and ``![alt](target)``; target ends at the first
 #: unescaped ``)`` (no nested-paren support needed for these docs).
@@ -29,6 +35,46 @@ _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _FENCE = re.compile(r"^(```|~~~)")
 _CODE_SPAN = re.compile(r"`[^`]*`")
 _SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+#: Characters GitHub's slugger drops: everything but word chars,
+#: spaces, and hyphens (so ``&``, ``—``, ``.``, ... vanish while the
+#: spaces around them survive as hyphens).
+_SLUG_DROP = re.compile(r"[^\w\- ]")
+_INLINE_LINK = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+
+_anchor_cache: Dict[Path, Set[str]] = {}
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading→anchor transform (formatting stripped first)."""
+    text = _INLINE_LINK.sub(r"\1", heading).replace("`", "")
+    text = text.replace("*", "")
+    return _SLUG_DROP.sub("", text.lower()).replace(" ", "-")
+
+
+def collect_anchors(path: Path) -> Set[str]:
+    """Every anchor *path* exposes, with ``-N`` duplicate suffixes."""
+    cached = _anchor_cache.get(path)
+    if cached is not None:
+        return cached
+    anchors: Set[str] = set()
+    counts: Dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    _anchor_cache[path] = anchors
+    return anchors
 
 
 def default_files(root: Path) -> List[Path]:
@@ -58,16 +104,23 @@ def iter_links(text: str) -> Iterator[Tuple[int, str]]:
 def check_file(path: Path, root: Path) -> List[str]:
     errors = []
     text = path.read_text(encoding="utf-8")
+    try:
+        shown = path.relative_to(root)
+    except ValueError:
+        shown = path
     for lineno, target in iter_links(text):
-        if _SCHEME.match(target) or target.startswith("#"):
+        if _SCHEME.match(target):
             continue
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        rel, _, fragment = target.partition("#")
+        resolved = (path.parent / rel).resolve() if rel else path
         if not resolved.exists():
-            try:
-                shown = path.relative_to(root)
-            except ValueError:
-                shown = path
             errors.append(f"{shown}:{lineno}: broken link -> {target}")
+            continue
+        if fragment and resolved.is_file() and resolved.suffix == ".md":
+            if fragment not in collect_anchors(resolved):
+                errors.append(
+                    f"{shown}:{lineno}: broken anchor -> {target}"
+                )
     return errors
 
 
@@ -85,7 +138,7 @@ def main(argv: List[str]) -> int:
         errors.extend(check_file(path, root))
     for line in errors:
         print(line, file=sys.stderr)
-    print(f"check_links: {checked} file(s), {len(errors)} broken link(s)")
+    print(f"check_links: {checked} file(s), {len(errors)} problem(s)")
     return 1 if errors else 0
 
 
